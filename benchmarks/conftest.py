@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one figure or table of the
+paper's evaluation section (see DESIGN.md for the experiment index).  The
+default budgets are scaled down so the whole harness runs on a laptop in
+minutes; set ``REPRO_FULL=1`` for paper-scale budgets or ``REPRO_TRIALS=<n>``
+to override the per-workload measurement-trial budget.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_report_header(config):
+    import os
+
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    override = os.environ.get("REPRO_TRIALS", "")
+    mode = "paper-scale (REPRO_FULL=1)" if full else (
+        f"override REPRO_TRIALS={override}" if override else "laptop-scale defaults"
+    )
+    return f"repro benchmark harness: {mode}"
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    """Print a reproduced figure/table after the benchmark timing finishes."""
+
+    def _print(title: str, body: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(body)
+
+    return _print

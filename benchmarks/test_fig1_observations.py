@@ -1,0 +1,138 @@
+"""Figure 1 — motivation observations on current auto-schedulers.
+
+* Fig. 1(a): greedy task allocation on BERT wastes a large share of trials on
+  subgraphs that only contribute to the final 1% of improvement.
+* Fig. 1(b): uniformly-selected schedule mutations mostly yield ~zero
+  improvement.
+* Fig. 1(c): with fixed-length search (Flextensor), most tracks find their
+  best schedule early, wasting the remaining steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.flextensor import FlextensorScheduler
+from repro.experiments.cache import bench_config, cached_network_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import default_trials
+from repro.hardware.simulator import LatencySimulator
+from repro.hardware.target import cpu_target
+from repro.tensor.actions import ActionSpace, apply_action
+from repro.tensor.sampler import sample_initial_schedules
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import gemm
+
+
+def test_fig1a_greedy_allocation(benchmark, print_report):
+    """Trial allocations of the greedy (Ansor-style) task scheduler on BERT."""
+    n_trials = default_trials(12000, 240)
+
+    def run():
+        return cached_network_comparison(
+            "bert", batch=1, n_trials=n_trials, schedulers=("ansor",), seed=0
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = comparison.results["ansor"]
+
+    history = result.latency_history
+    final = history[-1][1]
+    # The trial index at which the network got within 1% of its final latency.
+    threshold = final * 1.01
+    reach_trial = next(t for t, v in history if v <= threshold)
+
+    weights = result.task_weights
+    contributions = {
+        name: weights[name] * res.best_latency for name, res in result.task_results.items()
+    }
+    top5 = sorted(contributions, key=contributions.get, reverse=True)[:5]
+
+    total = sum(result.allocations.values())
+    late = total - min(reach_trial, total)
+    rows = [
+        [name, result.allocations[name], f"{100 * contributions[name] / sum(contributions.values()):.1f}%"]
+        for name in top5
+    ]
+    rows.append(["(all subgraphs, last-1% phase)", late, f"{100 * late / total:.1f}% of trials"])
+    print_report(
+        "Figure 1(a): greedy allocation on BERT (top-5 subgraphs by execution time)",
+        format_table(["subgraph", "allocated trials", "share"], rows),
+    )
+    assert total >= n_trials
+
+
+def test_fig1b_uniform_improvement(benchmark, print_report):
+    """Improvement-ratio distribution of uniformly selected schedule mutations.
+
+    Following the paper, the base programs are schedules an evolutionary
+    search would actually hold in its population (the best of a larger random
+    sample), and the improvement ratio is the performance of the mutated
+    schedule relative to the original one.
+    """
+    num_programs = 200
+    num_mutations = 20
+    rng = np.random.default_rng(0)
+    sim = LatencySimulator(cpu_target())
+    sketch = generate_sketches(gemm(512, 512, 512))[1]
+    space = ActionSpace(sketch)
+
+    def run():
+        pool = sample_initial_schedules(sketch, num_programs * 5, rng)
+        pool.sort(key=sim.throughput, reverse=True)
+        programs = pool[:num_programs]
+        ratios = []
+        for schedule in programs:
+            base = sim.throughput(schedule)
+            for _ in range(num_mutations):
+                mutated = apply_action(schedule, space.sample(rng))
+                ratios.append(sim.throughput(mutated) / base)
+        return np.asarray(ratios)
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    no_gain = float(np.mean(ratios <= 1.02))
+    rows = [
+        ["programs x mutations", ratios.size, ""],
+        ["median improvement ratio", float(np.median(ratios)), "paper: concentrated around 1.0"],
+        ["mean improvement ratio", float(np.mean(ratios)), ""],
+        ["fraction with no meaningful gain (<= 1.02)", no_gain, "paper: most improvements are ~0"],
+        ["5th percentile", float(np.percentile(ratios, 5)), ""],
+        ["95th percentile", float(np.percentile(ratios, 95)), ""],
+    ]
+    print_report(
+        "Figure 1(b): improvement ratio of uniform schedule selection",
+        format_table(["statistic", "value", "note"], rows),
+    )
+    # Most uniformly selected mutations of an already-decent schedule do not improve it.
+    assert no_gain > 0.5
+    assert 0.5 < float(np.median(ratios)) < 1.1
+
+
+def test_fig1c_flextensor_path_efficiency(benchmark, print_report):
+    """Histogram of the best-schedule position within fixed-length search paths."""
+    n_trials = default_trials(1000, 48)
+    config = bench_config()
+
+    def run():
+        scheduler = FlextensorScheduler(config=config, seed=0)
+        positions = []
+        for m, k, n in [(512, 512, 512), (256, 1024, 512), (1024, 1024, 1024)]:
+            result = scheduler.tune(gemm(m, k, n), n_trials=n_trials)
+            positions.extend(result.extras["critical_positions"])
+        return np.asarray(positions)
+
+    positions = benchmark.pedantic(run, rounds=1, iterations=1)
+    hist, edges = np.histogram(positions, bins=5, range=(0.0, 1.0))
+    rows = [
+        [f"{edges[i]:.0%} - {edges[i + 1]:.0%}", int(count), f"{count / len(positions):.1%}"]
+        for i, count in enumerate(hist)
+    ]
+    early_fraction = float(np.mean(positions <= 0.4))
+    rows.append(["best found in first 40% of path", "", f"{early_fraction:.1%}"])
+    print_report(
+        "Figure 1(c): position of the best schedule within fixed-length search paths (Flextensor)",
+        format_table(["relative position", "count", "share"], rows),
+    )
+    # The paper observes that most paths peak in the first 40% of their steps.
+    assert early_fraction > 0.35

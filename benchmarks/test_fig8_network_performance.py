@@ -1,0 +1,67 @@
+"""Figure 8 — normalized end-to-end performance of Ansor vs. HARL.
+
+Default budgets cover BERT on the CPU and GPU targets at batch size 1;
+``REPRO_FULL=1`` extends the sweep to ResNet-50 / MobileNet-V2 and batch 16,
+matching the paper's full figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.cache import cached_network_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import default_trials
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: (network, paper trial budget, laptop trial budget)
+_NETWORKS = [("bert", 12000, 240)]
+if FULL:
+    _NETWORKS += [("resnet50", 22000, 700), ("mobilenet_v2", 16000, 1200)]
+
+_TARGETS = ("cpu", "gpu")
+_BATCHES = (1, 16) if FULL else (1,)
+
+
+def _cases():
+    cases = []
+    for network, paper, laptop in _NETWORKS:
+        for target in _TARGETS:
+            for batch in _BATCHES:
+                cases.append((network, target, batch, paper, laptop))
+    return cases
+
+
+@pytest.mark.parametrize("network,target,batch,paper_trials,laptop_trials", _cases())
+def test_fig8_network_performance(
+    benchmark, print_report, network, target, batch, paper_trials, laptop_trials
+):
+    n_trials = default_trials(paper_trials, laptop_trials)
+
+    def run():
+        return cached_network_comparison(
+            network, batch=batch, n_trials=n_trials, target_name=target
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    perf = comparison.normalized_performance()
+    harl = comparison.results["harl"]
+    ansor = comparison.results["ansor"]
+    label = f"{network}{'(G)' if target == 'gpu' else ''} batch={batch}"
+    rows = [
+        [label, perf["ansor"], perf["harl"], ansor.best_latency / harl.best_latency],
+    ]
+    print_report(
+        "Figure 8: normalized end-to-end performance "
+        "(paper: HARL improves the outcome by ~8-9%)",
+        format_table(["network", "Ansor", "HARL", "HARL speedup"], rows),
+    )
+
+    # Shape check: HARL stays competitive end-to-end.  At laptop-scale budgets
+    # (a few hundred trials instead of the paper's 12k+) the subgraph MAB's
+    # exploration is not yet amortised, so the margin is generous here; the
+    # REPRO_FULL run is where the paper's 8-9% improvement is expected.
+    assert perf["harl"] >= 0.7

@@ -1,0 +1,58 @@
+"""Figure 9 — normalized end-to-end search time of Ansor vs. HARL.
+
+Reuses the network tuning runs of the Figure 8 bench through the shared
+result cache and reports the trials each scheduler needed to reach Ansor's
+final end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.cache import cached_network_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import default_trials
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+_NETWORKS = [("bert", 12000, 240)]
+if FULL:
+    _NETWORKS += [("resnet50", 22000, 700), ("mobilenet_v2", 16000, 1200)]
+_TARGETS = ("cpu", "gpu")
+_BATCHES = (1, 16) if FULL else (1,)
+
+
+def _cases():
+    return [
+        (network, target, batch, paper, laptop)
+        for network, paper, laptop in _NETWORKS
+        for target in _TARGETS
+        for batch in _BATCHES
+    ]
+
+
+@pytest.mark.parametrize("network,target,batch,paper_trials,laptop_trials", _cases())
+def test_fig9_network_search_time(
+    benchmark, print_report, network, target, batch, paper_trials, laptop_trials
+):
+    n_trials = default_trials(paper_trials, laptop_trials)
+
+    def run():
+        return cached_network_comparison(
+            network, batch=batch, n_trials=n_trials, target_name=target
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    times = comparison.normalized_search_time(baseline="ansor")
+    label = f"{network}{'(G)' if target == 'gpu' else ''} batch={batch}"
+    rows = [[label, times["ansor"], times["harl"]]]
+    print_report(
+        "Figure 9: normalized end-to-end search time "
+        "(paper: HARL reduces search time by up to 51-55%)",
+        format_table(["network", "Ansor", "HARL"], rows),
+    )
+
+    # Shape check: HARL does not need more search cost than the slower scheduler.
+    assert times["harl"] <= 1.0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Ablation of HARL's adaptive-stopping module (the Fig. 7 experiment).
+
+Run with::
+
+    python examples/adaptive_stopping_ablation.py [--trials 120]
+
+Three schedulers tune the same large GEMM under identical budgets:
+
+* ``ansor``            — evolutionary baseline,
+* ``hierarchical-rl``  — HARL with fixed-length schedule tracks,
+* ``harl``             — full HARL with adaptive stopping.
+
+The script prints the convergence checkpoints (Fig. 7a) and the critical-step
+statistics of fixed-length vs. adaptive tracks (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HARLConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import compare_on_operator
+from repro.tensor.workloads import gemm
+
+SCHEDULERS = ("ansor", "hierarchical-rl", "harl")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dag = gemm(1024, 1024, 1024)
+    print(f"Running the Fig. 7 ablation on {dag.name} with {args.trials} trials per scheduler...")
+    comparison = compare_on_operator(
+        dag,
+        n_trials=args.trials,
+        config=HARLConfig.scaled(0.25),
+        seed=args.seed,
+        schedulers=SCHEDULERS,
+    )
+    results = comparison.results
+
+    # --- Fig. 7(a): convergence checkpoints --------------------------------
+    budget = max(r.trials_used for r in results.values())
+    best = min(r.best_latency for r in results.values())
+    rows = []
+    for fraction in (0.2, 0.4, 0.6, 0.8, 1.0):
+        trial = max(1, int(budget * fraction))
+        row = [trial]
+        for name in SCHEDULERS:
+            latency = results[name].best_latency_at(trial)
+            row.append(best / latency if np.isfinite(latency) else 0.0)
+        rows.append(row)
+    print()
+    print(format_table(["trials"] + list(SCHEDULERS), rows,
+                       title="Fig. 7(a) style: normalized performance vs. trials"))
+
+    # --- Fig. 7(b): critical-step statistics -------------------------------
+    adaptive = np.asarray(results["harl"].extras["critical_positions"])
+    fixed = np.asarray(results["hierarchical-rl"].extras["critical_positions"])
+    rows = [
+        ["mean critical position", float(np.mean(fixed)), float(np.mean(adaptive))],
+        ["share of tracks peaking in last 10%", float(np.mean(fixed >= 0.9)), float(np.mean(adaptive >= 0.9))],
+        ["share of tracks peaking in first 40%", float(np.mean(fixed <= 0.4)), float(np.mean(adaptive <= 0.4))],
+    ]
+    print()
+    print(format_table(["statistic", "fixed-length", "adaptive-stopping"], rows,
+                       title="Fig. 7(b) style: wasted steps per schedule track"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Head-to-head comparison of HARL against the Ansor baseline on one operator.
+
+Run with::
+
+    python examples/compare_operator_tuning.py [--op GEMM-L] [--trials 100]
+
+Both schedulers receive the same measurement-trial budget on the same
+simulated hardware; the script prints the Fig. 5 / Fig. 6 metrics (normalized
+performance and normalized search time) for the chosen Table 6 operator class.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import HARLConfig
+from repro.experiments.operator_suite import OPERATOR_CLASSES, representative_dag
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import compare_on_operator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L",
+                        help="Table 6 operator class to tune")
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--trials", type=int, default=100, help="trial budget per scheduler")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--with-ablation", action="store_true",
+                        help="also run the fixed-length Hierarchical-RL ablation")
+    args = parser.parse_args()
+
+    schedulers = ("ansor", "harl") + (("hierarchical-rl",) if args.with_ablation else ())
+    dag = representative_dag(args.op, batch=args.batch)
+    print(f"Comparing {', '.join(schedulers)} on {dag.name} "
+          f"({dag.flops / 1e9:.2f} GFLOPs), {args.trials} trials each...")
+
+    comparison = compare_on_operator(
+        dag,
+        n_trials=args.trials,
+        config=HARLConfig.scaled(0.25),
+        seed=args.seed,
+        schedulers=schedulers,
+    )
+
+    perf = comparison.normalized_performance()
+    times = comparison.normalized_search_time(baseline="ansor")
+    rows = []
+    for name in schedulers:
+        result = comparison.results[name]
+        rows.append([
+            name,
+            result.best_latency * 1e3,
+            result.best_throughput / 1e12,
+            perf[name],
+            times[name],
+            result.trials_used,
+        ])
+
+    print()
+    print(format_table(
+        ["scheduler", "best latency (ms)", "TFLOP/s", "norm. performance", "norm. search time", "trials"],
+        rows,
+    ))
+
+    harl = comparison.results["harl"]
+    ansor = comparison.results["ansor"]
+    print()
+    print(f"HARL speedup over Ansor: {ansor.best_latency / harl.best_latency:.2f}x "
+          f"(paper reports 1.06-1.22x on operators)")
+
+
+if __name__ == "__main__":
+    main()

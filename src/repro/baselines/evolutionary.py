@@ -1,0 +1,141 @@
+"""Evolutionary schedule search (Ansor's low-level exploration strategy).
+
+A population of schedules evolves for a few generations: parents are selected
+with probability proportional to their cost-model score, children are produced
+by mutation (random modification actions) and crossover (mixing the knob
+groups of two parents), and every visited schedule is recorded so the caller
+can pick the top-K candidates for measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.actions import ActionSpace, apply_action
+from repro.tensor.sampler import sample_initial_schedules, sample_schedule
+from repro.tensor.schedule import CPU_UNROLL_DEPTHS, Schedule
+from repro.tensor.sketch import Sketch
+
+__all__ = ["EvolutionarySearch"]
+
+
+class EvolutionarySearch:
+    """Cost-model-guided evolutionary search over schedules of one sketch."""
+
+    def __init__(
+        self,
+        cost_model,
+        population_size: int = 128,
+        generations: int = 4,
+        mutation_prob: float = 0.85,
+        crossover_prob: float = 0.4,
+        mutation_steps: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        self.cost_model = cost_model
+        self.population_size = int(population_size)
+        self.generations = int(generations)
+        self.mutation_prob = float(mutation_prob)
+        self.crossover_prob = float(crossover_prob)
+        self.mutation_steps = int(mutation_steps)
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        sketch: Sketch,
+        unroll_depths: Tuple[int, ...] = CPU_UNROLL_DEPTHS,
+        warm_start: Optional[Sequence[Schedule]] = None,
+    ) -> List[Tuple[Schedule, float]]:
+        """Run the evolutionary search and return all visited (schedule, score)
+        pairs sorted by descending predicted score."""
+        action_space = ActionSpace(sketch)
+        population = sample_initial_schedules(
+            sketch, self.population_size, self.rng, unroll_depths
+        )
+        if warm_start:
+            for i, schedule in enumerate(list(warm_start)[: self.population_size // 4]):
+                if schedule.sketch.key == sketch.key:
+                    population[i] = schedule.copy()
+
+        history: Dict[Tuple, Tuple[Schedule, float]] = {}
+        self.visited = 0
+
+        for _generation in range(self.generations):
+            scores = np.asarray(self.cost_model.predict(population), dtype=np.float64)
+            self.visited += len(population)
+            for schedule, score in zip(population, scores):
+                key = schedule.signature()
+                prev = history.get(key)
+                if prev is None or score > prev[1]:
+                    history[key] = (schedule, float(score))
+            population = self._next_generation(population, scores, action_space, sketch, unroll_depths)
+
+        # Score the final generation too.
+        scores = np.asarray(self.cost_model.predict(population), dtype=np.float64)
+        self.visited += len(population)
+        for schedule, score in zip(population, scores):
+            key = schedule.signature()
+            prev = history.get(key)
+            if prev is None or score > prev[1]:
+                history[key] = (schedule, float(score))
+
+        return sorted(history.values(), key=lambda pair: pair[1], reverse=True)
+
+    # ------------------------------------------------------------------ #
+    def _next_generation(
+        self,
+        population: List[Schedule],
+        scores: np.ndarray,
+        action_space: ActionSpace,
+        sketch: Sketch,
+        unroll_depths: Tuple[int, ...],
+    ) -> List[Schedule]:
+        probs = self._selection_probabilities(scores)
+        children: List[Schedule] = []
+        n = len(population)
+        while len(children) < self.population_size:
+            parent_idx = int(self.rng.choice(n, p=probs))
+            child = population[parent_idx]
+            if self.rng.random() < self.crossover_prob:
+                other_idx = int(self.rng.choice(n, p=probs))
+                child = self._crossover(child, population[other_idx])
+            if self.rng.random() < self.mutation_prob:
+                for _ in range(1 + int(self.rng.integers(0, self.mutation_steps))):
+                    child = apply_action(child, action_space.sample(self.rng))
+            else:
+                child = sample_schedule(sketch, self.rng, unroll_depths)
+            children.append(child)
+        return children
+
+    @staticmethod
+    def _selection_probabilities(scores: np.ndarray) -> np.ndarray:
+        shifted = scores - np.max(scores) if len(scores) else scores
+        weights = np.exp(shifted * 4.0)
+        total = float(np.sum(weights))
+        if not np.isfinite(total) or total <= 0:
+            return np.full(len(scores), 1.0 / max(len(scores), 1))
+        return weights / total
+
+    def _crossover(self, a: Schedule, b: Schedule) -> Schedule:
+        """Mix the knob groups of two parents of the same sketch."""
+        if a.sketch.key != b.sketch.key:
+            return a.copy()
+        child = a.copy()
+        for i in range(len(child.tile_sizes)):
+            if self.rng.random() < 0.5:
+                child.tile_sizes[i] = list(b.tile_sizes[i])
+        if self.rng.random() < 0.5:
+            child.compute_at_index = b.compute_at_index
+        if self.rng.random() < 0.5:
+            child.num_parallel = b.num_parallel
+        if self.rng.random() < 0.5:
+            child.unroll_index = b.unroll_index
+        return child

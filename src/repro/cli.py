@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three sub-commands cover the common workflows:
+
+* ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
+* ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end.
+* ``compare``      — head-to-head HARL vs. Ansor on one operator, printing the
+  paper's normalized performance / search-time metrics.
+
+All latencies come from the simulated hardware targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.ansor import AnsorConfig, AnsorScheduler
+from repro.baselines.autotvm import SimulatedAnnealingScheduler
+from repro.baselines.flextensor import FlextensorScheduler
+from repro.core.config import HARLConfig
+from repro.core.scheduler import HARLScheduler
+from repro.experiments.cache import build_network
+from repro.experiments.operator_suite import OPERATOR_CLASSES, representative_dag
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import compare_on_operator
+from repro.hardware.target import cpu_target, gpu_target
+from repro.tensor.lowering import lower_schedule
+
+__all__ = ["main", "build_parser"]
+
+_SCHEDULER_CHOICES = ("harl", "hierarchical-rl", "ansor", "flextensor", "autotvm")
+
+
+def _make_scheduler(name: str, target, config: HARLConfig, seed: int):
+    if name == "harl":
+        return HARLScheduler(target=target, config=config, seed=seed)
+    if name == "hierarchical-rl":
+        return HARLScheduler(target=target, config=config, seed=seed, adaptive_stopping=False)
+    if name == "ansor":
+        return AnsorScheduler(target=target, config=AnsorConfig.from_harl(config), seed=seed)
+    if name == "flextensor":
+        return FlextensorScheduler(target=target, config=config, seed=seed)
+    if name == "autotvm":
+        return SimulatedAnnealingScheduler(target=target, seed=seed)
+    raise KeyError(name)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
+        p.add_argument("--trials", type=int, default=200)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scale", type=float, default=0.25,
+                       help="HARLConfig.scaled factor (1.0 = paper-scale episodes)")
+
+    op = sub.add_parser("tune-op", help="tune one Table 6 operator class")
+    common(op)
+    op.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
+    op.add_argument("--batch", type=int, default=1)
+    op.add_argument("--scheduler", choices=_SCHEDULER_CHOICES, default="harl")
+    op.add_argument("--show-program", action="store_true",
+                    help="print the lowered loop nest of the best schedule")
+
+    net = sub.add_parser("tune-network", help="tune a network end to end")
+    common(net)
+    net.add_argument("--network", choices=("bert", "resnet50", "mobilenet_v2"), default="bert")
+    net.add_argument("--batch", type=int, default=1)
+    net.add_argument("--scheduler", choices=("harl", "ansor"), default="harl")
+
+    cmp = sub.add_parser("compare", help="HARL vs Ansor on one operator")
+    common(cmp)
+    cmp.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
+    cmp.add_argument("--batch", type=int, default=1)
+
+    return parser
+
+
+def _resolve_target(name: str):
+    return cpu_target() if name == "cpu" else gpu_target()
+
+
+def _cmd_tune_op(args) -> int:
+    target = _resolve_target(args.target)
+    config = HARLConfig.scaled(args.scale)
+    scheduler = _make_scheduler(args.scheduler, target, config, args.seed)
+    dag = representative_dag(args.op, batch=args.batch)
+    result = scheduler.tune(dag, n_trials=args.trials)
+    print(format_table(
+        ["workload", "scheduler", "best latency (ms)", "TFLOP/s", "trials"],
+        [[dag.name, result.scheduler, result.best_latency * 1e3,
+          result.best_throughput / 1e12, result.trials_used]],
+    ))
+    if args.show_program and result.best_schedule is not None:
+        print()
+        print(lower_schedule(result.best_schedule))
+    return 0
+
+
+def _cmd_tune_network(args) -> int:
+    target = _resolve_target(args.target)
+    config = HARLConfig.scaled(args.scale)
+    scheduler = _make_scheduler(args.scheduler, target, config, args.seed)
+    network = build_network(args.network, batch_size=args.batch)
+    result = scheduler.tune_network(network, n_trials=args.trials)
+    rows = [
+        [name, result.allocations.get(name, 0), res.best_latency * 1e3]
+        for name, res in sorted(result.task_results.items())
+    ]
+    print(format_table(["subgraph", "trials", "best latency (ms)"], rows,
+                       title=f"{network.name} via {result.scheduler}"))
+    print(f"\nestimated end-to-end latency: {result.best_latency * 1e3:.3f} ms "
+          f"({result.trials_used} trials)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    target = _resolve_target(args.target)
+    config = HARLConfig.scaled(args.scale)
+    dag = representative_dag(args.op, batch=args.batch)
+    comparison = compare_on_operator(
+        dag, n_trials=args.trials, target=target, config=config, seed=args.seed,
+        schedulers=("ansor", "harl"),
+    )
+    perf = comparison.normalized_performance()
+    times = comparison.normalized_search_time()
+    rows = [
+        [name, comparison.results[name].best_latency * 1e3, perf[name], times[name]]
+        for name in ("ansor", "harl")
+    ]
+    print(format_table(
+        ["scheduler", "best latency (ms)", "norm. performance", "norm. search time"],
+        rows, title=dag.name,
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tune-op":
+        return _cmd_tune_op(args)
+    if args.command == "tune-network":
+        return _cmd_tune_network(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise KeyError(args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

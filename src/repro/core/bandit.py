@@ -1,0 +1,117 @@
+"""Sliding-Window Upper Confidence Bound (SW-UCB) bandit.
+
+Both the subgraph-selection and the sketch-selection levels of HARL are
+modelled as *non-stationary* multi-armed bandit problems and solved with
+SW-UCB (Eq. 1 / 2 / 4 of the paper): the empirical mean reward of each arm is
+computed over the last ``tau`` plays only, so the policy keeps adapting as the
+reward distributions drift during the tuning run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SlidingWindowUCB"]
+
+
+class SlidingWindowUCB:
+    """Non-stationary multi-armed bandit with a sliding reward window.
+
+    Parameters
+    ----------
+    num_arms:
+        Number of actions (subgraphs or sketches).
+    exploration:
+        The constant ``c`` of Eq. 1 weighting the exploration bonus.
+    window:
+        The window size ``tau``: only the most recent ``tau`` (arm, reward)
+        observations contribute to the empirical means and counts.
+    rng:
+        Used only to break ties between arms with equal UCB scores.
+    """
+
+    def __init__(
+        self,
+        num_arms: int,
+        exploration: float = 0.25,
+        window: int = 256,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if num_arms < 1:
+            raise ValueError("num_arms must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if exploration < 0:
+            raise ValueError("exploration must be >= 0")
+        self.num_arms = int(num_arms)
+        self.exploration = float(exploration)
+        self.window = int(window)
+        self._rng = rng or np.random.default_rng(0)
+        self._history: Deque[Tuple[int, float]] = deque(maxlen=self.window)
+        self._total_plays = np.zeros(self.num_arms, dtype=np.int64)
+        self.t = 0
+
+    # ------------------------------------------------------------------ #
+    def counts(self) -> np.ndarray:
+        """Per-arm play counts inside the current window (``N_t(tau, a)``)."""
+        counts = np.zeros(self.num_arms, dtype=np.int64)
+        for arm, _reward in self._history:
+            counts[arm] += 1
+        return counts
+
+    def values(self) -> np.ndarray:
+        """Per-arm mean reward inside the window (``Q_t(tau, a)``); 0 if unplayed."""
+        sums = np.zeros(self.num_arms, dtype=np.float64)
+        counts = np.zeros(self.num_arms, dtype=np.float64)
+        for arm, reward in self._history:
+            sums[arm] += reward
+            counts[arm] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        return means
+
+    def total_plays(self) -> np.ndarray:
+        """Lifetime play counts per arm (used by the trial-allocation figures)."""
+        return self._total_plays.copy()
+
+    def ucb_scores(self) -> np.ndarray:
+        """The SW-UCB score of every arm (Eq. 1).  Unplayed arms get +inf."""
+        counts = self.counts().astype(np.float64)
+        means = self.values()
+        horizon = max(min(self.t, self.window), 1)
+        scores = np.full(self.num_arms, np.inf, dtype=np.float64)
+        played = counts > 0
+        scores[played] = means[played] + self.exploration * np.sqrt(
+            np.log(horizon) / counts[played]
+        )
+        return scores
+
+    # ------------------------------------------------------------------ #
+    def select(self) -> int:
+        """Choose the arm with the highest SW-UCB score (ties broken at random)."""
+        scores = self.ucb_scores()
+        best = float(np.max(scores))
+        candidates = np.flatnonzero(
+            np.isinf(scores) if np.isinf(best) else np.isclose(scores, best)
+        )
+        return int(self._rng.choice(candidates))
+
+    def update(self, arm: int, reward: float) -> None:
+        """Record the reward obtained after playing ``arm``."""
+        if not (0 <= arm < self.num_arms):
+            raise IndexError(f"arm {arm} out of range [0, {self.num_arms})")
+        if not np.isfinite(reward):
+            reward = 0.0
+        self._history.append((int(arm), float(reward)))
+        self._total_plays[arm] += 1
+        self.t += 1
+
+    def play(self, reward_fn) -> Tuple[int, float]:
+        """Convenience helper: select an arm, obtain its reward, update, return both."""
+        arm = self.select()
+        reward = float(reward_fn(arm))
+        self.update(arm, reward)
+        return arm, reward

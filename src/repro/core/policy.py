@@ -1,0 +1,181 @@
+"""NumPy neural networks for the actor-critic agent.
+
+The actor is a small MLP trunk with one linear *head* per modification
+sub-space (tiling, compute-at, parallel, unroll — Appendix A.1); the critic is
+an MLP with a single scalar head.  Forward and backward passes are written by
+hand (no autograd), and parameters are trained with Adam.  Network widths are
+tiny (64 hidden units) because schedule feature vectors are ~60-dimensional
+and episodes only contain a few hundred states.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MultiHeadMLP", "Adam", "softmax", "log_softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for numerical stability."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+class MultiHeadMLP:
+    """MLP trunk (tanh activations) with multiple linear output heads.
+
+    Parameters
+    ----------
+    input_size:
+        Dimension of the input feature vector.
+    hidden_sizes:
+        Widths of the trunk's hidden layers.
+    head_sizes:
+        Output dimension of each head.  A critic is simply ``head_sizes=(1,)``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_sizes: Sequence[int],
+        head_sizes: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not head_sizes:
+            raise ValueError("at least one head is required")
+        rng = rng or np.random.default_rng(0)
+        self.input_size = int(input_size)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.head_sizes = tuple(int(h) for h in head_sizes)
+
+        self.trunk_weights: List[np.ndarray] = []
+        self.trunk_biases: List[np.ndarray] = []
+        prev = self.input_size
+        for width in self.hidden_sizes:
+            scale = np.sqrt(2.0 / prev)
+            self.trunk_weights.append(rng.normal(0.0, scale, size=(prev, width)))
+            self.trunk_biases.append(np.zeros(width))
+            prev = width
+
+        self.head_weights: List[np.ndarray] = []
+        self.head_biases: List[np.ndarray] = []
+        for width in self.head_sizes:
+            scale = np.sqrt(1.0 / prev)
+            self.head_weights.append(rng.normal(0.0, 0.1 * scale, size=(prev, width)))
+            self.head_biases.append(np.zeros(width))
+
+    # ------------------------------------------------------------------ #
+    # parameter plumbing
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[np.ndarray]:
+        """Flat list of parameter arrays (views, not copies)."""
+        return (
+            self.trunk_weights + self.trunk_biases + self.head_weights + self.head_biases
+        )
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        expected = len(self.parameters())
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} parameter arrays, got {len(params)}")
+        nt = len(self.trunk_weights)
+        nh = len(self.head_weights)
+        self.trunk_weights = [np.array(p, dtype=np.float64) for p in params[:nt]]
+        self.trunk_biases = [np.array(p, dtype=np.float64) for p in params[nt : 2 * nt]]
+        self.head_weights = [np.array(p, dtype=np.float64) for p in params[2 * nt : 2 * nt + nh]]
+        self.head_biases = [np.array(p, dtype=np.float64) for p in params[2 * nt + nh :]]
+
+    # ------------------------------------------------------------------ #
+    # forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> Tuple[List[np.ndarray], dict]:
+        """Run the network; returns per-head outputs and a cache for backward."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        activations = [x]
+        h = x
+        for W, b in zip(self.trunk_weights, self.trunk_biases):
+            h = np.tanh(h @ W + b)
+            activations.append(h)
+        outputs = [h @ W + b for W, b in zip(self.head_weights, self.head_biases)]
+        cache = {"activations": activations}
+        return outputs, cache
+
+    def backward(self, cache: dict, head_grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Back-propagate per-head output gradients; returns parameter gradients
+        aligned with :meth:`parameters`."""
+        if len(head_grads) != len(self.head_weights):
+            raise ValueError("one gradient array per head is required")
+        activations = cache["activations"]
+        trunk_out = activations[-1]
+
+        head_w_grads: List[np.ndarray] = []
+        head_b_grads: List[np.ndarray] = []
+        grad_trunk = np.zeros_like(trunk_out)
+        for grad_out, W in zip(head_grads, self.head_weights):
+            grad_out = np.asarray(grad_out, dtype=np.float64)
+            head_w_grads.append(trunk_out.T @ grad_out)
+            head_b_grads.append(np.sum(grad_out, axis=0))
+            grad_trunk = grad_trunk + grad_out @ W.T
+
+        trunk_w_grads: List[np.ndarray] = [None] * len(self.trunk_weights)
+        trunk_b_grads: List[np.ndarray] = [None] * len(self.trunk_biases)
+        grad_h = grad_trunk
+        for layer in reversed(range(len(self.trunk_weights))):
+            post = activations[layer + 1]
+            pre_grad = grad_h * (1.0 - post * post)  # d tanh
+            trunk_w_grads[layer] = activations[layer].T @ pre_grad
+            trunk_b_grads[layer] = np.sum(pre_grad, axis=0)
+            grad_h = pre_grad @ self.trunk_weights[layer].T
+
+        return trunk_w_grads + trunk_b_grads + head_w_grads + head_b_grads
+
+
+class Adam:
+    """Adam optimiser over a list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        max_grad_norm: Optional[float] = 5.0,
+    ):
+        self.params = list(params)
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.max_grad_norm = max_grad_norm
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list does not match parameter list")
+        grads = [np.asarray(g, dtype=np.float64) for g in grads]
+
+        if self.max_grad_norm is not None:
+            total = np.sqrt(sum(float(np.sum(g * g)) for g in grads))
+            if total > self.max_grad_norm and total > 0:
+                scale = self.max_grad_norm / total
+                grads = [g * scale for g in grads]
+
+        self._t += 1
+        for i, (param, grad) in enumerate(zip(self.params, grads)):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[i] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[i] / (1 - self.beta2 ** self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

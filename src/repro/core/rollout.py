@@ -1,0 +1,106 @@
+"""Replay buffer for the PPO agent.
+
+Algorithm 1 records ``(S, M, S', R, Y)`` tuples — state, joint action, next
+state, reward and advantage — into a replay buffer ``B``; every ``T_rl`` steps
+a mini-batch is sampled from it to train the actor and critic networks.  The
+buffer here additionally stores the behaviour policy's log-probability and
+the TD target, which the clipped PPO objective and the critic regression need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ReplayBuffer"]
+
+
+@dataclass
+class _Batch:
+    states: np.ndarray
+    actions: np.ndarray
+    old_log_probs: np.ndarray
+    rewards: np.ndarray
+    td_targets: np.ndarray
+    advantages: np.ndarray
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO buffer of transitions.
+
+    All arrays are pre-allocated; ``add`` copies a batch of transitions in and
+    overwrites the oldest entries once the capacity is reached.
+    """
+
+    def __init__(self, capacity: int, state_size: int, num_heads: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.state_size = int(state_size)
+        self.num_heads = int(num_heads)
+        self._states = np.zeros((capacity, state_size), dtype=np.float64)
+        self._actions = np.zeros((capacity, num_heads), dtype=np.int64)
+        self._old_log_probs = np.zeros(capacity, dtype=np.float64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._td_targets = np.zeros(capacity, dtype=np.float64)
+        self._advantages = np.zeros(capacity, dtype=np.float64)
+        self._rng = np.random.default_rng(seed)
+        self._next = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        old_log_probs: np.ndarray,
+        rewards: np.ndarray,
+        td_targets: np.ndarray,
+        advantages: np.ndarray,
+    ) -> None:
+        """Append a batch of transitions (oldest entries are overwritten)."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        actions = np.atleast_2d(np.asarray(actions, dtype=np.int64))
+        n = states.shape[0]
+        if not (
+            actions.shape[0] == n
+            and len(old_log_probs) == n
+            and len(rewards) == n
+            and len(td_targets) == n
+            and len(advantages) == n
+        ):
+            raise ValueError("all transition arrays must have the same leading dimension")
+        for i in range(n):
+            idx = self._next
+            self._states[idx] = states[i]
+            self._actions[idx] = actions[i]
+            self._old_log_probs[idx] = old_log_probs[i]
+            self._rewards[idx] = rewards[i]
+            self._td_targets[idx] = td_targets[i]
+            self._advantages[idx] = advantages[i]
+            self._next = (self._next + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Dict[str, np.ndarray]:
+        """Sample a mini-batch uniformly at random (without replacement)."""
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty buffer")
+        batch_size = min(int(batch_size), self._size)
+        idx = self._rng.choice(self._size, size=batch_size, replace=False)
+        return {
+            "states": self._states[idx],
+            "actions": self._actions[idx],
+            "old_log_probs": self._old_log_probs[idx],
+            "rewards": self._rewards[idx],
+            "td_targets": self._td_targets[idx],
+            "advantages": self._advantages[idx],
+        }
+
+    def clear(self) -> None:
+        self._next = 0
+        self._size = 0

@@ -1,0 +1,311 @@
+"""The HARL auto-scheduler.
+
+:class:`HARLScheduler` ties the three hierarchical decision levels together:
+
+* **subgraph selection** — a non-stationary SW-UCB bandit fed by the Ansor
+  gradient-estimation reward (only used for end-to-end network tuning),
+* **sketch selection** — a SW-UCB bandit per subgraph whose reward is the
+  normalised best performance achieved by episodes run under each sketch,
+* **parameter search** — a PPO agent per (subgraph, sketch) driving
+  Algorithm 1 episodes with adaptive stopping.
+
+Ablation switches (``adaptive_stopping``, ``use_sketch_mab``,
+``use_subgraph_mab``) reproduce the "Hierarchical-RL" and "HARL w/o subgraph
+MAB" variants of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.actor_critic import PPOAgent
+from repro.core.adaptive_stopping import AdaptiveStopper, FixedLengthStopper
+from repro.core.bandit import SlidingWindowUCB
+from repro.core.config import HARLConfig
+from repro.core.parameter_search import EpisodeResult, ParameterSearcher
+from repro.core.subgraph_reward import SubgraphState, normalized_rewards
+from repro.core.tuner import NetworkTuningResult, TuningResult
+from repro.costmodel.model import ScheduleCostModel
+from repro.hardware.measurer import Measurer
+from repro.hardware.target import HardwareTarget, cpu_target
+from repro.networks.graph import NetworkGraph
+from repro.tensor.actions import ActionSpace
+from repro.tensor.dag import ComputeDAG
+from repro.tensor.features import FEATURE_SIZE
+from repro.tensor.schedule import Schedule
+from repro.tensor.sketch import Sketch, generate_sketches
+
+__all__ = ["HARLScheduler"]
+
+
+class _TaskContext:
+    """Per-subgraph tuning state: sketches, sketch bandit, agents, searchers."""
+
+    def __init__(self, dag: ComputeDAG, scheduler: "HARLScheduler"):
+        self.dag = dag
+        target = scheduler.target
+        self.sketches: List[Sketch] = generate_sketches(
+            dag, target.sketch_spatial_levels, target.sketch_reduction_levels
+        )
+        cfg = scheduler.config
+        self.sketch_mab = SlidingWindowUCB(
+            len(self.sketches),
+            exploration=cfg.ucb_constant,
+            window=cfg.ucb_window,
+            rng=scheduler._rng,
+        )
+        self.agents: Dict[int, PPOAgent] = {}
+        self.searchers: Dict[int, ParameterSearcher] = {}
+        self.best_schedules: List[Schedule] = []
+        self.critical_positions: List[float] = []
+        self.track_lengths: List[int] = []
+        self.episodes = 0
+        self.search_steps = 0
+
+
+class HARLScheduler:
+    """Hierarchical Adaptive RL auto-scheduler (the paper's contribution).
+
+    Parameters
+    ----------
+    target:
+        Simulated hardware target (defaults to the CPU preset).
+    config:
+        Hyper-parameters; defaults to the paper's Table 5 values.
+    adaptive_stopping:
+        Disable to obtain the fixed-length "Hierarchical-RL" ablation.
+    use_sketch_mab:
+        Disable to select sketches uniformly at random (Ansor-style).
+    use_subgraph_mab:
+        Disable to fall back to greedy gradient-based task selection for
+        end-to-end networks ("HARL w/o subgraph MAB" in Table 4).
+    """
+
+    name = "harl"
+
+    def __init__(
+        self,
+        target: Optional[HardwareTarget] = None,
+        config: Optional[HARLConfig] = None,
+        seed: int = 0,
+        adaptive_stopping: bool = True,
+        use_sketch_mab: bool = True,
+        use_subgraph_mab: bool = True,
+        cost_model: Optional[ScheduleCostModel] = None,
+        measurer: Optional[Measurer] = None,
+    ):
+        self.target = target or cpu_target()
+        self.config = config or HARLConfig()
+        self.seed = int(seed)
+        self.adaptive_stopping = bool(adaptive_stopping)
+        self.use_sketch_mab = bool(use_sketch_mab)
+        self.use_subgraph_mab = bool(use_subgraph_mab)
+        self._rng = np.random.default_rng(seed)
+        self.measurer = measurer or Measurer(
+            self.target, min_repeat_seconds=self.config.min_repeat_seconds, seed=seed
+        )
+        self.cost_model = cost_model or ScheduleCostModel(seed=seed)
+        self._tasks: Dict[str, _TaskContext] = {}
+
+        if not adaptive_stopping:
+            self.name = "hierarchical-rl"
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _task(self, dag: ComputeDAG) -> _TaskContext:
+        ctx = self._tasks.get(dag.name)
+        if ctx is None:
+            ctx = _TaskContext(dag, self)
+            self._tasks[dag.name] = ctx
+        return ctx
+
+    def _make_stopper(self):
+        if self.adaptive_stopping:
+            return AdaptiveStopper(
+                window_size=self.config.window_size,
+                elimination_ratio=self.config.elimination_ratio,
+                min_tracks=self.config.min_tracks,
+            )
+        return FixedLengthStopper(episode_length=self.config.episode_length)
+
+    def _searcher(self, ctx: _TaskContext, sketch_index: int) -> ParameterSearcher:
+        searcher = ctx.searchers.get(sketch_index)
+        if searcher is None:
+            sketch = ctx.sketches[sketch_index]
+            agent = PPOAgent(
+                feature_size=FEATURE_SIZE,
+                head_sizes=ActionSpace(sketch).head_sizes,
+                config=self.config,
+                seed=self.seed + 97 * sketch_index + len(ctx.dag.name),
+            )
+            ctx.agents[sketch_index] = agent
+            searcher = ParameterSearcher(
+                sketch=sketch,
+                agent=agent,
+                cost_model=self.cost_model,
+                measurer=self.measurer,
+                config=self.config,
+                stopper=self._make_stopper(),
+                rng=np.random.default_rng(self.seed + 31 * sketch_index + 7),
+            )
+            ctx.searchers[sketch_index] = searcher
+        return searcher
+
+    # ------------------------------------------------------------------ #
+    # single-operator tuning
+    # ------------------------------------------------------------------ #
+    def tune(self, dag: ComputeDAG, n_trials: int) -> TuningResult:
+        """Tune one operator / subgraph within a budget of measurement trials."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        ctx = self._task(dag)
+        start_trials = self.measurer.trials(dag.name)
+
+        while self.measurer.trials(dag.name) - start_trials < n_trials:
+            remaining = n_trials - (self.measurer.trials(dag.name) - start_trials)
+            self._run_round(ctx, max_measures=remaining)
+
+        return self._build_result(ctx)
+
+    def _run_round(self, ctx: _TaskContext, max_measures: Optional[int] = None) -> EpisodeResult:
+        """One tuning round: pick a sketch, run one parameter-search episode."""
+        if self.use_sketch_mab:
+            sketch_index = ctx.sketch_mab.select()
+        else:
+            sketch_index = int(self._rng.integers(0, len(ctx.sketches)))
+
+        searcher = self._searcher(ctx, sketch_index)
+        warm_start = ctx.best_schedules[-4:] if ctx.best_schedules else None
+        episode = searcher.run_episode(warm_start=warm_start, max_measures=max_measures)
+
+        ctx.episodes += 1
+        ctx.search_steps += episode.num_visited
+        ctx.critical_positions.extend(episode.critical_positions)
+        ctx.track_lengths.extend(episode.track_lengths)
+
+        best_overall = self.cost_model.best_throughput(ctx.dag.name)
+        if episode.best_throughput > 0 and best_overall > 0:
+            reward = float(np.clip(episode.best_throughput / best_overall, 0.0, 1.0))
+        else:
+            reward = 0.0
+        ctx.sketch_mab.update(sketch_index, reward)
+
+        if episode.measured:
+            best = min(episode.measured, key=lambda r: r.latency)
+            ctx.best_schedules.append(best.schedule)
+            ctx.best_schedules = ctx.best_schedules[-8:]
+        return episode
+
+    def _build_result(self, ctx: _TaskContext) -> TuningResult:
+        name = ctx.dag.name
+        best_latency = self.measurer.best_latency(name)
+        best_schedule = self.measurer.best_schedule(name)
+        return TuningResult(
+            workload=name,
+            scheduler=self.name,
+            best_latency=best_latency,
+            best_throughput=ctx.dag.flops / best_latency if np.isfinite(best_latency) else 0.0,
+            best_schedule=best_schedule,
+            trials_used=self.measurer.trials(name),
+            search_steps=ctx.search_steps,
+            history=self.measurer.history(name),
+            extras={
+                "episodes": ctx.episodes,
+                "critical_positions": list(ctx.critical_positions),
+                "track_lengths": list(ctx.track_lengths),
+                "sketch_plays": ctx.sketch_mab.total_plays().tolist(),
+                "sketch_keys": [s.key for s in ctx.sketches],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # end-to-end network tuning
+    # ------------------------------------------------------------------ #
+    def tune_network(self, network: NetworkGraph, n_trials: int) -> NetworkTuningResult:
+        """Tune all subgraphs of a network within a total measurement budget."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        cfg = self.config
+        contexts = {sg.name: self._task(sg.dag) for sg in network}
+        states = {
+            sg.name: SubgraphState(
+                name=sg.name,
+                weight=sg.weight,
+                flops=sg.dag.flops,
+                similarity_group=sg.similarity_group or sg.dag.tags.get("op", ""),
+            )
+            for sg in network
+        }
+        subgraph_mab = SlidingWindowUCB(
+            len(network.subgraphs),
+            exploration=cfg.ucb_constant,
+            window=cfg.ucb_window,
+            rng=self._rng,
+        )
+        task_names = [sg.name for sg in network]
+        allocations = {name: 0 for name in task_names}
+        latency_history: List[Tuple[int, float]] = []
+        start_trials = self.measurer.total_trials
+
+        while self.measurer.total_trials - start_trials < n_trials:
+            remaining = n_trials - (self.measurer.total_trials - start_trials)
+            if self.use_subgraph_mab:
+                task_index = subgraph_mab.select()
+            else:
+                task_index = self._greedy_task_index(states, task_names)
+            task_name = task_names[task_index]
+            sg = network.subgraph(task_name)
+            ctx = contexts[task_name]
+
+            trials_before = self.measurer.trials(sg.dag.name)
+            self._run_round(ctx, max_measures=remaining)
+            allocations[task_name] += self.measurer.trials(sg.dag.name) - trials_before
+
+            states[task_name].record(self.measurer.best_latency(sg.dag.name))
+            rewards = normalized_rewards(
+                [states[n] for n in task_names],
+                alpha=cfg.alpha,
+                beta=cfg.beta,
+                backward_window=cfg.backward_window,
+            )
+            subgraph_mab.update(task_index, float(rewards[task_index]))
+
+            current = network.estimated_latency(
+                {n: states[n].best_latency for n in task_names}
+            )
+            latency_history.append((self.measurer.total_trials - start_trials, current))
+
+        task_results = {name: self._build_result(contexts[name]) for name in task_names}
+        return NetworkTuningResult(
+            network=network.name,
+            scheduler=self.name,
+            task_results=task_results,
+            task_weights=network.weights(),
+            latency_history=latency_history,
+            allocations=allocations,
+            extras={
+                "subgraph_plays": subgraph_mab.total_plays().tolist(),
+                "task_names": task_names,
+                "use_subgraph_mab": self.use_subgraph_mab,
+            },
+        )
+
+    def _greedy_task_index(self, states: Dict[str, SubgraphState], task_names: List[str]) -> int:
+        """Greedy (Ansor-style) task selection: always the highest-reward task.
+
+        Tasks that were never tuned are warmed up first (a round-robin pass),
+        which is how Ansor's task scheduler bootstraps its gradient estimates.
+        """
+        for index, name in enumerate(task_names):
+            if states[name].rounds == 0:
+                return index
+        rewards = normalized_rewards(
+            [states[n] for n in task_names],
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            backward_window=self.config.backward_window,
+        )
+        return int(np.argmax(rewards))

@@ -1,0 +1,124 @@
+"""Subgraph-selection reward (Eq. 3 / 4 of the paper).
+
+The subgraph MAB cannot use raw performance as its reward because every
+subgraph has a different latency scale.  HARL instead reuses Ansor's gradient
+estimation: the expected benefit of spending the next trials on subgraph ``a``
+combines (i) the recent improvement rate of that subgraph and (ii) the
+remaining head-room, estimated both from the optimistic ``g_a / t_a`` bound
+and from the throughput achieved on *similar* subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SubgraphState", "subgraph_reward"]
+
+
+@dataclass
+class SubgraphState:
+    """Tuning progress of one subgraph (task).
+
+    ``latencies`` records the best achieved latency after every tuning round
+    allocated to this subgraph; ``weight`` is the number of appearances
+    ``w_n`` of the subgraph in the network; ``flops`` is the work of a single
+    instance (``B_a`` in Eq. 3).
+    """
+
+    name: str
+    weight: float
+    flops: float
+    similarity_group: str = ""
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def best_latency(self) -> float:
+        return min(self.latencies) if self.latencies else float("inf")
+
+    def record(self, latency: float) -> None:
+        best = min(self.best_latency, float(latency))
+        self.latencies.append(best)
+
+
+def subgraph_reward(
+    state: SubgraphState,
+    all_states: Sequence[SubgraphState],
+    alpha: float = 0.2,
+    beta: float = 2.0,
+    backward_window: int = 3,
+) -> float:
+    """Expected benefit (seconds of end-to-end latency) of tuning ``state`` next.
+
+    This is the (sign-flipped, i.e. higher-is-better) form of the gradient
+    estimation formula of Eq. 3:
+
+    * the **history term** is the recent per-round improvement of the
+      subgraph's weighted latency,
+    * the **head-room term** is the larger of the optimistic ``g_a / t_a``
+      decay bound and the gap to the latency this subgraph would have if it
+      reached ``beta`` times the best throughput achieved by similar subgraphs
+      (same ``similarity_group``).
+
+    Untuned subgraphs return ``+inf`` so they are explored first.
+    """
+    if state.rounds == 0:
+        return float("inf")
+
+    g_now = state.latencies[-1]
+    weight = max(state.weight, 1.0)
+
+    # History term: improvement rate over the last `backward_window` rounds.
+    dt = min(backward_window, state.rounds - 1)
+    if dt > 0:
+        g_prev = state.latencies[-1 - dt]
+        improvement_rate = max(g_prev - g_now, 0.0) / dt
+    else:
+        improvement_rate = g_now  # a single round: everything is head-room
+
+    # Head-room term 1: optimistic decay bound g_a / t_a.
+    decay_bound = g_now / max(state.rounds, 1)
+
+    # Head-room term 2: gap to beta x the best similar-subgraph throughput.
+    similar = [
+        s
+        for s in all_states
+        if s is not state and s.similarity_group == state.similarity_group and s.rounds > 0
+    ]
+    if similar and state.flops > 0:
+        best_similar_throughput = max(s.flops / s.best_latency for s in similar)
+        predicted_latency = state.flops / (beta * best_similar_throughput)
+        similarity_gap = max(g_now - predicted_latency, 0.0)
+    else:
+        similarity_gap = 0.0
+
+    headroom = max(decay_bound, similarity_gap)
+    reward = weight * (alpha * improvement_rate + (1.0 - alpha) * headroom)
+    return float(reward)
+
+
+def normalized_rewards(
+    states: Sequence[SubgraphState],
+    alpha: float = 0.2,
+    beta: float = 2.0,
+    backward_window: int = 3,
+) -> np.ndarray:
+    """Rewards of every subgraph, normalised to [0, 1] for MAB consumption.
+
+    Infinite rewards (never-tuned subgraphs) map to 1.0.
+    """
+    raw = np.array(
+        [subgraph_reward(s, states, alpha, beta, backward_window) for s in states],
+        dtype=np.float64,
+    )
+    finite = raw[np.isfinite(raw)]
+    scale = float(np.max(finite)) if finite.size else 1.0
+    scale = max(scale, 1e-30)
+    out = np.where(np.isfinite(raw), raw / scale, 1.0)
+    return np.clip(out, 0.0, 1.0)

@@ -1,0 +1,92 @@
+"""Common tuning-result containers shared by HARL and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tensor.schedule import Schedule
+
+__all__ = ["TuningResult", "NetworkTuningResult"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning a single operator / subgraph.
+
+    ``history`` holds ``(measurement trial index, best latency so far)`` pairs;
+    ``search_steps`` counts optimisation iterations (schedule visits), which is
+    the wall-time proxy used by the search-time metrics.
+    """
+
+    workload: str
+    scheduler: str
+    best_latency: float
+    best_throughput: float
+    best_schedule: Optional[Schedule]
+    trials_used: int
+    search_steps: int
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def trials_to_reach(self, latency: float) -> Optional[int]:
+        """First measurement trial at which the best latency reached ``latency``.
+
+        Returns ``None`` when the target was never reached.  This implements
+        the paper's *search time* metric: the cost of finding a program no
+        worse than the baseline's final output.
+        """
+        for trial, best in self.history:
+            if best <= latency:
+                return trial
+        return None
+
+    def best_latency_at(self, trial: int) -> float:
+        """Best latency achieved up to (and including) a given trial index."""
+        best = float("inf")
+        for t, latency in self.history:
+            if t > trial:
+                break
+            best = latency
+        return best
+
+
+@dataclass
+class NetworkTuningResult:
+    """Outcome of tuning an end-to-end network (a weighted set of subgraphs)."""
+
+    network: str
+    scheduler: str
+    task_results: Dict[str, TuningResult]
+    task_weights: Dict[str, float]
+    #: (total measurement trials, estimated end-to-end latency sum_n w_n * g_n)
+    latency_history: List[Tuple[int, float]] = field(default_factory=list)
+    #: total measurement trials allocated to each subgraph
+    allocations: Dict[str, int] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def best_latency(self) -> float:
+        """Final estimated end-to-end latency."""
+        if self.latency_history:
+            return self.latency_history[-1][1]
+        return float("inf")
+
+    @property
+    def trials_used(self) -> int:
+        return self.latency_history[-1][0] if self.latency_history else 0
+
+    def trials_to_reach(self, latency: float) -> Optional[int]:
+        for trial, value in self.latency_history:
+            if value <= latency:
+                return trial
+        return None
+
+    def task_contributions(self) -> Dict[str, float]:
+        """Fraction of the end-to-end latency contributed by each subgraph."""
+        weighted = {
+            name: self.task_weights[name] * result.best_latency
+            for name, result in self.task_results.items()
+        }
+        total = sum(v for v in weighted.values() if v != float("inf")) or 1.0
+        return {name: value / total for name, value in weighted.items()}

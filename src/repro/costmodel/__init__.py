@@ -1,0 +1,19 @@
+"""Learned cost model.
+
+The paper uses XGBoost as a light-weight cost model that predicts schedule
+performance, prunes poor candidates and serves as the RL reward function.
+This package provides a from-scratch gradient-boosted regression tree model
+(:mod:`repro.costmodel.gbt`) and the online wrapper used by the schedulers
+(:mod:`repro.costmodel.model`).
+"""
+
+from repro.costmodel.tree import RegressionTree
+from repro.costmodel.gbt import GradientBoostedTrees
+from repro.costmodel.model import RandomCostModel, ScheduleCostModel
+
+__all__ = [
+    "GradientBoostedTrees",
+    "RandomCostModel",
+    "RegressionTree",
+    "ScheduleCostModel",
+]

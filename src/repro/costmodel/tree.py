@@ -1,0 +1,160 @@
+"""Binary regression tree with exact greedy splits.
+
+This is the weak learner of the gradient-boosted cost model.  Splits minimise
+the squared-error criterion; split search is vectorised with NumPy prefix
+sums over the sorted feature values, so fitting stays fast for the few
+thousand samples collected during a tuning run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RegressionTree"]
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART-style regression tree (squared loss).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root has depth 0).
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    min_gain:
+        Minimum reduction of the sum of squared errors required to split.
+    max_features:
+        Number of candidate features examined at every split (``None`` = all);
+        when set, features are subsampled with the provided RNG, which
+        decorrelates the boosted ensemble.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        min_gain: float = 1e-12,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have mismatched lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        return np.array([self._predict_row(row) for row in X], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(np.mean(y)))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or np.allclose(y, y[0]):
+            return node
+
+        feature, threshold, gain = self._best_split(X, y)
+        if feature < 0 or gain < self.min_gain:
+            return node
+
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n_samples, n_features = X.shape
+        total_sum = float(np.sum(y))
+        total_sq = float(np.sum(y * y))
+        base_sse = total_sq - total_sum * total_sum / n_samples
+
+        features = np.arange(n_features)
+        if self.max_features is not None and self.max_features < n_features:
+            features = self._rng.choice(n_features, size=self.max_features, replace=False)
+
+        best_feature, best_threshold, best_gain = -1, 0.0, 0.0
+        for feature in features:
+            values = X[:, feature]
+            order = np.argsort(values, kind="mergesort")
+            v_sorted = values[order]
+            y_sorted = y[order]
+
+            left_count = np.arange(1, n_samples)
+            left_sum = np.cumsum(y_sorted)[:-1]
+            left_sq = np.cumsum(y_sorted * y_sorted)[:-1]
+            right_count = n_samples - left_count
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+
+            sse = (
+                left_sq
+                - left_sum * left_sum / left_count
+                + right_sq
+                - right_sum * right_sum / right_count
+            )
+            gains = base_sse - sse
+
+            # Valid split positions: both children big enough and distinct
+            # adjacent feature values (otherwise the threshold is degenerate).
+            valid = (
+                (left_count >= self.min_samples_leaf)
+                & (right_count >= self.min_samples_leaf)
+                & (v_sorted[:-1] < v_sorted[1:])
+            )
+            if not np.any(valid):
+                continue
+            gains = np.where(valid, gains, -np.inf)
+            idx = int(np.argmax(gains))
+            if gains[idx] > best_gain:
+                best_gain = float(gains[idx])
+                best_feature = int(feature)
+                best_threshold = float((v_sorted[idx] + v_sorted[idx + 1]) / 2.0)
+
+        return best_feature, best_threshold, best_gain

@@ -1,0 +1,32 @@
+"""Experiment harness: metrics, workload suites, runners and reporting.
+
+These utilities regenerate the evaluation-section figures and tables of the
+paper; the benchmark files under ``benchmarks/`` are thin wrappers around the
+runners defined here.
+"""
+
+from repro.experiments.metrics import (
+    normalized_performance,
+    normalized_search_time,
+    speedup,
+)
+from repro.experiments.operator_suite import OPERATOR_SUITE, operator_dags
+from repro.experiments.runner import (
+    OperatorComparison,
+    compare_on_operator,
+    compare_on_network,
+)
+from repro.experiments.reporting import format_table, write_csv
+
+__all__ = [
+    "OPERATOR_SUITE",
+    "OperatorComparison",
+    "compare_on_network",
+    "compare_on_operator",
+    "format_table",
+    "normalized_performance",
+    "normalized_search_time",
+    "operator_dags",
+    "speedup",
+    "write_csv",
+]

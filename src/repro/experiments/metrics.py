@@ -1,0 +1,66 @@
+"""Evaluation metrics of the paper.
+
+* **Performance** — the inverse execution time of the best tensor program
+  produced by an auto-scheduler, reported *normalised* to the best scheduler
+  (so the winner is 1.0).
+* **Search time** — the cost an auto-scheduler pays to find a program no
+  worse than the *baseline's* final output, also reported normalised.  In
+  this reproduction the wall-clock measurement cost is replaced by the number
+  of measurement trials consumed (every measured candidate costs roughly the
+  same wall time in Ansor's and HARL's measurement pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.tuner import NetworkTuningResult, TuningResult
+
+__all__ = ["normalized_performance", "normalized_search_time", "speedup"]
+
+
+def speedup(baseline_latency: float, candidate_latency: float) -> float:
+    """How much faster ``candidate`` is than ``baseline`` (>1 means faster)."""
+    if candidate_latency <= 0 or not np.isfinite(candidate_latency):
+        return 0.0
+    return float(baseline_latency / candidate_latency)
+
+
+def normalized_performance(results: Mapping[str, TuningResult]) -> Dict[str, float]:
+    """Normalise final performance (1 / latency) so the best scheduler is 1.0."""
+    perf = {}
+    for name, result in results.items():
+        latency = getattr(result, "best_latency", float("inf"))
+        perf[name] = 0.0 if latency <= 0 or not np.isfinite(latency) else 1.0 / latency
+    best = max(perf.values()) if perf else 0.0
+    if best <= 0:
+        return {name: 0.0 for name in perf}
+    return {name: value / best for name, value in perf.items()}
+
+
+def normalized_search_time(
+    results: Mapping[str, TuningResult],
+    baseline: str = "ansor",
+) -> Dict[str, float]:
+    """Normalised search cost to reach the baseline's final performance.
+
+    For every scheduler the cost is the number of measurement trials it needed
+    before its best-so-far latency dropped to (or below) the baseline's final
+    best latency; schedulers that never reach it are charged their full trial
+    budget.  Costs are normalised so the slowest scheduler is 1.0 (the
+    convention used in Fig. 6 / Fig. 9 of the paper).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results {sorted(results)}")
+    target_latency = results[baseline].best_latency
+
+    costs: Dict[str, float] = {}
+    for name, result in results.items():
+        reached = result.trials_to_reach(target_latency)
+        costs[name] = float(reached) if reached is not None else float(result.trials_used)
+    slowest = max(costs.values()) if costs else 0.0
+    if slowest <= 0:
+        return {name: 0.0 for name in costs}
+    return {name: value / slowest for name, value in costs.items()}

@@ -1,0 +1,91 @@
+"""Tensor operator benchmark suite (Table 6 of the paper).
+
+Each operator class (GEMM-S/M/L, C1D, C2D, C3D, T2D) is evaluated on four
+parameter configurations; :func:`operator_dags` instantiates the compute DAGs
+for a given batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tensor.dag import ComputeDAG
+from repro.tensor.workloads import conv1d, conv2d, conv2d_transpose, conv3d, gemm
+
+__all__ = ["OPERATOR_SUITE", "OPERATOR_CLASSES", "operator_dags", "representative_dag"]
+
+#: Table 6: operator class -> list of parameter tuples.
+OPERATOR_SUITE: Dict[str, List[Tuple[int, ...]]] = {
+    # (M, K, N)
+    "GEMM-S": [(128, 128, 128), (128, 256, 128), (256, 256, 256), (512, 32, 512)],
+    "GEMM-M": [(512, 512, 512), (128, 1536, 512), (128, 512, 1536), (256, 1024, 512)],
+    "GEMM-L": [(1024, 1024, 1024), (128, 3072, 768), (128, 768, 3072), (256, 1536, 768)],
+    # (L, Ci, Co, K, stride, padding)
+    "C1D": [
+        (256, 64, 128, 3, 2, 1),
+        (128, 128, 256, 1, 2, 0),
+        (64, 256, 256, 5, 1, 2),
+        (32, 512, 512, 3, 1, 1),
+    ],
+    # (H, W, Ci, Co, K, stride, padding)
+    "C2D": [
+        (224, 224, 3, 64, 7, 2, 3),
+        (56, 56, 64, 64, 1, 1, 0),
+        (14, 14, 256, 256, 3, 1, 1),
+        (7, 7, 512, 512, 3, 1, 1),
+    ],
+    # (D, H, W, Ci, Co, K, stride, padding)
+    "C3D": [
+        (16, 224, 224, 3, 64, 7, 2, 3),
+        (16, 56, 56, 64, 64, 1, 1, 0),
+        (16, 14, 14, 256, 256, 3, 1, 1),
+        (16, 7, 7, 512, 512, 3, 1, 1),
+    ],
+    # (H, W, Ci, Co, K, stride, padding)
+    "T2D": [
+        (4, 4, 512, 256, 4, 2, 1),
+        (8, 8, 256, 128, 4, 2, 1),
+        (16, 16, 128, 64, 4, 2, 1),
+        (32, 32, 64, 3, 4, 2, 1),
+    ],
+}
+
+OPERATOR_CLASSES: Tuple[str, ...] = tuple(OPERATOR_SUITE.keys())
+
+
+def _build(op_class: str, params: Sequence[int], batch: int) -> ComputeDAG:
+    if op_class.startswith("GEMM"):
+        m, k, n = params
+        return gemm(m, k, n, batch=batch)
+    if op_class == "C1D":
+        length, ci, co, kernel, stride, padding = params
+        return conv1d(length, ci, co, kernel, stride, padding, batch=batch)
+    if op_class == "C2D":
+        h, w, ci, co, kernel, stride, padding = params
+        return conv2d(h, w, ci, co, kernel, stride, padding, batch=batch)
+    if op_class == "C3D":
+        d, h, w, ci, co, kernel, stride, padding = params
+        return conv3d(d, h, w, ci, co, kernel, stride, padding, batch=batch)
+    if op_class == "T2D":
+        h, w, ci, co, kernel, stride, padding = params
+        return conv2d_transpose(h, w, ci, co, kernel, stride, padding, batch=batch)
+    raise KeyError(f"unknown operator class {op_class!r}")
+
+
+def operator_dags(op_class: str, batch: int = 1, limit: int | None = None) -> List[ComputeDAG]:
+    """Instantiate the DAGs of one operator class for a given batch size.
+
+    ``limit`` caps the number of configurations (the CI-scale benches tune only
+    the first configuration of each class; the paper-scale run uses all four).
+    """
+    if op_class not in OPERATOR_SUITE:
+        raise KeyError(f"unknown operator class {op_class!r}; known: {OPERATOR_CLASSES}")
+    configs = OPERATOR_SUITE[op_class]
+    if limit is not None:
+        configs = configs[: max(1, limit)]
+    return [_build(op_class, params, batch) for params in configs]
+
+
+def representative_dag(op_class: str, batch: int = 1) -> ComputeDAG:
+    """The first (representative) configuration of an operator class."""
+    return operator_dags(op_class, batch=batch, limit=1)[0]

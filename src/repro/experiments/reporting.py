@@ -1,0 +1,66 @@
+"""Plain-text / CSV reporting helpers for the benchmark harness.
+
+The benches print the same rows / series as the paper's figures and tables;
+these helpers keep the formatting consistent and optionally persist results
+to CSV for offline plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "write_csv", "format_series"]
+
+Number = Union[int, float]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Mapping[str, Number], float_format: str = "{:.3f}") -> str:
+    """Render one labelled series (e.g. one bar group of a figure)."""
+    parts = [f"{key}={float_format.format(float(value))}" for key, value in values.items()]
+    return f"{name}: " + ", ".join(parts)
+
+
+def write_csv(path: Union[str, Path], headers: Sequence[str], rows: Iterable[Sequence[object]]) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path

@@ -1,0 +1,135 @@
+"""Head-to-head experiment runners.
+
+These functions build fresh scheduler instances (each with its own measurer
+and cost model so no information leaks between competitors), run them on the
+same workload with the same trial budget and seed, and package the outcomes
+for the metric / reporting helpers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.ansor import AnsorConfig, AnsorScheduler
+from repro.core.config import HARLConfig
+from repro.core.scheduler import HARLScheduler
+from repro.core.tuner import NetworkTuningResult, TuningResult
+from repro.experiments.metrics import normalized_performance, normalized_search_time
+from repro.hardware.target import HardwareTarget, cpu_target
+from repro.networks.graph import NetworkGraph
+from repro.tensor.dag import ComputeDAG
+
+__all__ = [
+    "OperatorComparison",
+    "NetworkComparison",
+    "compare_on_operator",
+    "compare_on_network",
+    "default_trials",
+]
+
+
+def default_trials(paper_trials: int, fallback: int) -> int:
+    """Trial budget for a bench: ``REPRO_FULL=1`` selects the paper budget,
+    ``REPRO_TRIALS=<n>`` overrides it, otherwise the scaled-down default."""
+    if os.environ.get("REPRO_FULL", "") == "1":
+        return paper_trials
+    override = os.environ.get("REPRO_TRIALS", "")
+    if override:
+        return max(1, int(override))
+    return fallback
+
+
+@dataclass
+class OperatorComparison:
+    """Results of running several schedulers on one operator."""
+
+    dag_name: str
+    results: Dict[str, TuningResult]
+
+    @property
+    def schedulers(self) -> List[str]:
+        return list(self.results)
+
+    def normalized_performance(self) -> Dict[str, float]:
+        return normalized_performance(self.results)
+
+    def normalized_search_time(self, baseline: str = "ansor") -> Dict[str, float]:
+        return normalized_search_time(self.results, baseline=baseline)
+
+
+@dataclass
+class NetworkComparison:
+    """Results of running several schedulers on one end-to-end network."""
+
+    network_name: str
+    results: Dict[str, NetworkTuningResult]
+
+    def normalized_performance(self) -> Dict[str, float]:
+        return normalized_performance(self.results)
+
+    def normalized_search_time(self, baseline: str = "ansor") -> Dict[str, float]:
+        return normalized_search_time(self.results, baseline=baseline)
+
+
+def _default_factories(
+    target: HardwareTarget,
+    config: HARLConfig,
+    seed: int,
+    include: Sequence[str],
+) -> Dict[str, Callable[[], object]]:
+    factories: Dict[str, Callable[[], object]] = {}
+    if "ansor" in include:
+        factories["ansor"] = lambda: AnsorScheduler(
+            target=target, config=AnsorConfig.from_harl(config), seed=seed
+        )
+    if "harl" in include:
+        factories["harl"] = lambda: HARLScheduler(target=target, config=config, seed=seed)
+    if "hierarchical-rl" in include:
+        factories["hierarchical-rl"] = lambda: HARLScheduler(
+            target=target, config=config, seed=seed, adaptive_stopping=False
+        )
+    if "harl-no-subgraph-mab" in include:
+        factories["harl-no-subgraph-mab"] = lambda: HARLScheduler(
+            target=target, config=config, seed=seed, use_subgraph_mab=False
+        )
+    return factories
+
+
+def compare_on_operator(
+    dag: ComputeDAG,
+    n_trials: int,
+    target: Optional[HardwareTarget] = None,
+    config: Optional[HARLConfig] = None,
+    seed: int = 0,
+    schedulers: Sequence[str] = ("ansor", "harl"),
+) -> OperatorComparison:
+    """Tune one operator with every requested scheduler under the same budget."""
+    target = target or cpu_target()
+    config = config or HARLConfig.scaled()
+    factories = _default_factories(target, config, seed, schedulers)
+    results: Dict[str, TuningResult] = {}
+    for name in schedulers:
+        scheduler = factories[name]()
+        results[name] = scheduler.tune(dag, n_trials)
+    return OperatorComparison(dag_name=dag.name, results=results)
+
+
+def compare_on_network(
+    network: NetworkGraph,
+    n_trials: int,
+    target: Optional[HardwareTarget] = None,
+    config: Optional[HARLConfig] = None,
+    seed: int = 0,
+    schedulers: Sequence[str] = ("ansor", "harl"),
+) -> NetworkComparison:
+    """Tune one network end-to-end with every requested scheduler."""
+    target = target or cpu_target()
+    config = config or HARLConfig.scaled()
+    factories = _default_factories(target, config, seed, schedulers)
+    results: Dict[str, NetworkTuningResult] = {}
+    for name in schedulers:
+        scheduler = factories[name]()
+        results[name] = scheduler.tune_network(network, n_trials)
+    return NetworkComparison(network_name=network.name, results=results)

@@ -1,0 +1,21 @@
+"""Simulated measurement substrate.
+
+The paper measures candidate schedules on an Intel Xeon 6226R and an Nvidia
+RTX 3090.  This package replaces those measurements with an analytic latency
+model: the simulator scores a schedule from its tiling locality, vectorisation,
+parallel load balance, loop overhead / unrolling and producer-consumer reuse,
+and the measurer adds realistic measurement noise and repeat semantics.
+"""
+
+from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+from repro.hardware.simulator import LatencySimulator
+from repro.hardware.measurer import MeasureResult, Measurer
+
+__all__ = [
+    "HardwareTarget",
+    "LatencySimulator",
+    "MeasureResult",
+    "Measurer",
+    "cpu_target",
+    "gpu_target",
+]

@@ -1,0 +1,136 @@
+"""Measurement harness on top of the latency simulator.
+
+The :class:`Measurer` mirrors the role of TVM's RPC measurer in the paper:
+given candidate schedules it returns measured latencies (simulated latency
+plus log-normal measurement noise, averaged over repeats so that at least
+``min_repeat_seconds`` of wall time is covered — the ``r_min`` parameter of
+Table 5), and it keeps global statistics: the number of measurement trials
+consumed and the best schedule found so far per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.simulator import LatencySimulator
+from repro.hardware.target import HardwareTarget
+from repro.tensor.schedule import Schedule
+
+__all__ = ["MeasureResult", "Measurer"]
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """Outcome of measuring one schedule."""
+
+    schedule: Schedule
+    latency: float
+    throughput: float
+    repeats: int
+    trial_index: int
+
+    @property
+    def is_valid(self) -> bool:
+        return np.isfinite(self.latency) and self.latency > 0
+
+
+@dataclass
+class _WorkloadStats:
+    best_latency: float = float("inf")
+    best_schedule: Optional[Schedule] = None
+    trials: int = 0
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+
+class Measurer:
+    """Simulated measurement backend shared by all auto-schedulers.
+
+    Parameters
+    ----------
+    target:
+        Hardware target to simulate.
+    noise:
+        Relative standard deviation of a single timing sample.
+    min_repeat_seconds:
+        Minimum wall time covered by repeated timing of one schedule
+        (``r_min`` in Table 5); more repeats shrink the effective noise.
+    seed:
+        Seed of the measurement-noise RNG (the simulator's deterministic
+        ruggedness has its own seed).
+    """
+
+    def __init__(
+        self,
+        target: HardwareTarget,
+        noise: float = 0.02,
+        min_repeat_seconds: float = 1.0,
+        max_repeats: int = 32,
+        seed: int = 0,
+    ):
+        self.target = target
+        self.simulator = LatencySimulator(target)
+        self.noise = float(noise)
+        self.min_repeat_seconds = float(min_repeat_seconds)
+        self.max_repeats = int(max_repeats)
+        self._rng = np.random.default_rng(seed)
+        self._stats: Dict[str, _WorkloadStats] = {}
+        self.total_trials = 0
+
+    # ------------------------------------------------------------------ #
+    def measure(self, schedules: Sequence[Schedule]) -> List[MeasureResult]:
+        """Measure a batch of schedules, updating global trial statistics."""
+        results = []
+        for schedule in schedules:
+            results.append(self._measure_one(schedule))
+        return results
+
+    def _measure_one(self, schedule: Schedule) -> MeasureResult:
+        true_latency = self.simulator.latency(schedule)
+        repeats = int(np.clip(np.ceil(self.min_repeat_seconds / max(true_latency, 1e-9)), 1, self.max_repeats))
+        # Averaging `repeats` noisy samples shrinks the noise by sqrt(repeats).
+        effective_noise = self.noise / np.sqrt(repeats)
+        factor = float(np.exp(self._rng.normal(0.0, effective_noise)))
+        latency = true_latency * factor
+
+        self.total_trials += 1
+        stats = self._stats.setdefault(schedule.dag.name, _WorkloadStats())
+        stats.trials += 1
+        if latency < stats.best_latency:
+            stats.best_latency = latency
+            stats.best_schedule = schedule
+        stats.history.append((self.total_trials, stats.best_latency))
+
+        return MeasureResult(
+            schedule=schedule,
+            latency=float(latency),
+            throughput=float(schedule.dag.flops / latency),
+            repeats=repeats,
+            trial_index=self.total_trials,
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def best_latency(self, workload_name: str) -> float:
+        stats = self._stats.get(workload_name)
+        return stats.best_latency if stats else float("inf")
+
+    def best_schedule(self, workload_name: str) -> Optional[Schedule]:
+        stats = self._stats.get(workload_name)
+        return stats.best_schedule if stats else None
+
+    def trials(self, workload_name: str) -> int:
+        stats = self._stats.get(workload_name)
+        return stats.trials if stats else 0
+
+    def history(self, workload_name: str) -> List[Tuple[int, float]]:
+        """(global trial index, best latency so far) pairs for one workload."""
+        stats = self._stats.get(workload_name)
+        return list(stats.history) if stats else []
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self.total_trials = 0

@@ -1,0 +1,120 @@
+"""Hardware target descriptions.
+
+The two presets mirror the evaluation platforms of the paper (Appendix A.2):
+an Intel Xeon 6226R (32 cores, AVX-512) and an Nvidia GeForce RTX 3090.  All
+numbers feed the analytic latency model; they are nominal datasheet-level
+values, not calibrated measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.tensor.schedule import CPU_UNROLL_DEPTHS, GPU_UNROLL_DEPTHS
+
+__all__ = ["HardwareTarget", "cpu_target", "gpu_target"]
+
+
+@dataclass(frozen=True)
+class HardwareTarget:
+    """Parameters of the simulated execution platform.
+
+    Attributes
+    ----------
+    name:
+        Target identifier (``"xeon-6226r"`` / ``"rtx-3090"``).
+    kind:
+        ``"cpu"`` or ``"gpu"``; selects the sketch tiling structure and the
+        unroll depth candidates.
+    num_cores:
+        Number of parallel execution units (physical cores / SMs).
+    peak_flops_per_core:
+        Peak single-precision FLOP/s of one execution unit at full vector
+        utilisation.
+    vector_width:
+        SIMD lanes (fp32) per instruction — 16 for AVX-512, 32 for a GPU warp.
+    l1_bytes / l2_bytes / l3_bytes:
+        Cache capacities used by the tile-footprint locality model.  On the
+        GPU preset, ``l1_bytes`` models shared memory per SM and ``l3_bytes``
+        the device L2.
+    dram_bandwidth:
+        Main memory bandwidth in bytes/s.
+    parallel_overhead:
+        Fixed cost (seconds) of launching one parallel task/thread chunk.
+    kernel_overhead:
+        Fixed per-invocation cost (seconds) — thread-pool wake-up on CPU,
+        kernel launch on GPU.
+    """
+
+    name: str
+    kind: str
+    num_cores: int
+    peak_flops_per_core: float
+    vector_width: int
+    l1_bytes: float
+    l2_bytes: float
+    l3_bytes: float
+    dram_bandwidth: float
+    parallel_overhead: float
+    kernel_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise ValueError(f"unknown target kind {self.kind!r}")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak FLOP/s of the whole device."""
+        return self.num_cores * self.peak_flops_per_core
+
+    @property
+    def unroll_depths(self) -> Tuple[int, ...]:
+        return CPU_UNROLL_DEPTHS if self.kind == "cpu" else GPU_UNROLL_DEPTHS
+
+    @property
+    def sketch_spatial_levels(self) -> int:
+        """Multi-level tiling depth for spatial loops (Ansor uses 4 on CPU, 5 on GPU)."""
+        return 4 if self.kind == "cpu" else 5
+
+    @property
+    def sketch_reduction_levels(self) -> int:
+        return 2 if self.kind == "cpu" else 3
+
+
+def cpu_target() -> HardwareTarget:
+    """Intel Xeon Gold 6226R-like target (32 cores, 2.9 GHz, AVX-512)."""
+    # 2.9 GHz * 2 FMA ports * 16 fp32 lanes * 2 flops/FMA = ~185 GFLOP/s per core.
+    return HardwareTarget(
+        name="xeon-6226r",
+        kind="cpu",
+        num_cores=32,
+        peak_flops_per_core=185.6e9,
+        vector_width=16,
+        l1_bytes=32 * 1024,
+        l2_bytes=1024 * 1024,
+        l3_bytes=22 * 1024 * 1024,
+        dram_bandwidth=140e9,
+        parallel_overhead=2.0e-6,
+        kernel_overhead=5.0e-6,
+    )
+
+
+def gpu_target() -> HardwareTarget:
+    """Nvidia GeForce RTX 3090-like target (82 SMs, 936 GB/s)."""
+    # 35.6 TFLOP/s fp32 across 82 SMs -> ~434 GFLOP/s per SM.
+    return HardwareTarget(
+        name="rtx-3090",
+        kind="gpu",
+        num_cores=82,
+        peak_flops_per_core=434.0e9,
+        vector_width=32,
+        l1_bytes=100 * 1024,       # shared memory / L1 per SM
+        l2_bytes=512 * 1024,       # per-SM share of device L2
+        l3_bytes=6 * 1024 * 1024,  # device L2
+        dram_bandwidth=936e9,
+        parallel_overhead=0.5e-6,
+        kernel_overhead=8.0e-6,
+    )

@@ -1,0 +1,22 @@
+"""DNN frontends.
+
+The paper imports ResNet-50, MobileNet-V2 and BERT through TVM's relay
+frontend and partitions them into subgraphs (tasks).  Here each network is
+described directly as its inventory of distinct subgraphs — one
+:class:`~repro.networks.graph.Subgraph` per distinct (operator, shape) with
+its number of occurrences ``w_n`` — which is exactly the information the task
+schedulers consume.
+"""
+
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.networks.bert import build_bert
+from repro.networks.resnet import build_resnet50
+from repro.networks.mobilenet import build_mobilenet_v2
+
+__all__ = [
+    "NetworkGraph",
+    "Subgraph",
+    "build_bert",
+    "build_mobilenet_v2",
+    "build_resnet50",
+]

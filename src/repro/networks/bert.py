@@ -1,0 +1,119 @@
+"""BERT-base frontend.
+
+The BERT encoder (12 layers, hidden 768, 12 heads, FFN 3072, sequence length
+128) decomposes into 10 distinct subgraphs — the count quoted in Section 4.1
+of the paper — matching the subgraph inventory of Table 4: four dense GEMMs,
+the attention softmax, two batched GEMMs, two element-wise groups and the
+pooler GEMM+tanh.
+"""
+
+from __future__ import annotations
+
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import batch_gemm, elementwise, gemm, gemm_tanh, softmax
+
+__all__ = ["build_bert"]
+
+
+def build_bert(
+    batch_size: int = 1,
+    seq_len: int = 128,
+    hidden: int = 768,
+    num_heads: int = 12,
+    ffn_hidden: int = 3072,
+    num_layers: int = 12,
+) -> NetworkGraph:
+    """Build the BERT-base subgraph inventory.
+
+    Subgraph names follow Table 4 of the paper.  ``w_n`` weights count the
+    occurrences across all encoder layers; batching multiplies the token
+    dimension of every subgraph.
+    """
+    if hidden % num_heads:
+        raise ValueError("hidden size must be divisible by the number of heads")
+    head_dim = hidden // num_heads
+
+    subgraphs = [
+        # Q/K/V projections: three GEMMs per layer.
+        Subgraph(
+            name="GEMM-I",
+            dag=gemm(seq_len, hidden, hidden, batch=batch_size, name=f"bert_qkv_proj_b{batch_size}"),
+            weight=3 * num_layers,
+            similarity_group="gemm",
+        ),
+        # Attention output projection.
+        Subgraph(
+            name="GEMM-II",
+            dag=gemm(seq_len, hidden, hidden, batch=batch_size, name=f"bert_attn_out_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="gemm",
+        ),
+        # Feed-forward up-projection (hidden -> ffn_hidden).
+        Subgraph(
+            name="GEMM-III",
+            dag=gemm(seq_len, hidden, ffn_hidden, batch=batch_size, name=f"bert_ffn1_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="gemm",
+        ),
+        # Feed-forward down-projection (ffn_hidden -> hidden).
+        Subgraph(
+            name="GEMM-IV",
+            dag=gemm(seq_len, ffn_hidden, hidden, batch=batch_size, name=f"bert_ffn2_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="gemm",
+        ),
+        # Attention softmax over (heads x seq) rows of length seq.
+        Subgraph(
+            name="Softmax",
+            dag=softmax(num_heads * seq_len, seq_len, batch=batch_size, name=f"bert_softmax_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="softmax",
+        ),
+        # Attention scores: Q x K^T per head.
+        Subgraph(
+            name="Batch_GEMM-I",
+            dag=batch_gemm(num_heads, seq_len, head_dim, seq_len, batch=batch_size, name=f"bert_qk_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="batch_gemm",
+        ),
+        # Attention context: scores x V per head.
+        Subgraph(
+            name="Batch_GEMM-II",
+            dag=batch_gemm(num_heads, seq_len, seq_len, head_dim, batch=batch_size, name=f"bert_av_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="batch_gemm",
+        ),
+        # Residual add + layer norm (twice per layer).
+        Subgraph(
+            name="Element-wise-I",
+            dag=elementwise([seq_len, hidden], num_ops=4, batch=batch_size, name=f"bert_add_ln_b{batch_size}"),
+            weight=2 * num_layers,
+            similarity_group="elementwise",
+        ),
+        # GELU activation on the FFN hidden state.
+        Subgraph(
+            name="Element-wise-II",
+            dag=elementwise([seq_len, ffn_hidden], num_ops=3, batch=batch_size, name=f"bert_gelu_b{batch_size}"),
+            weight=num_layers,
+            similarity_group="elementwise",
+        ),
+        # Pooler: dense + tanh on the [CLS] token.
+        Subgraph(
+            name="GEMM+Tanh",
+            dag=gemm_tanh(1, hidden, hidden, batch=batch_size, name=f"bert_pooler_b{batch_size}"),
+            weight=1,
+            similarity_group="gemm",
+        ),
+    ]
+    return NetworkGraph(
+        name=f"bert_base_b{batch_size}",
+        subgraphs=subgraphs,
+        batch_size=batch_size,
+        metadata={
+            "seq_len": seq_len,
+            "hidden": hidden,
+            "num_heads": num_heads,
+            "ffn_hidden": ffn_hidden,
+            "num_layers": num_layers,
+        },
+    )

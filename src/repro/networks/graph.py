@@ -1,0 +1,97 @@
+"""Network graphs as weighted subgraph inventories.
+
+End-to-end optimisation in the paper splits the network's computational graph
+into ``N`` distinct subgraphs executed sequentially; the end-to-end latency is
+approximated as ``f(S) = sum_n w_n * g_n`` where ``w_n`` is the number of
+appearances of subgraph ``n`` and ``g_n`` its execution time.  A
+:class:`NetworkGraph` is precisely that list of ``(subgraph, w_n)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.tensor.dag import ComputeDAG
+
+__all__ = ["Subgraph", "NetworkGraph"]
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """One distinct subgraph (task) of a network.
+
+    ``weight`` is the number of times the subgraph appears in the network
+    (``w_n``); ``similarity_group`` tags subgraphs of the same operator family
+    so the subgraph-selection reward can transfer throughput estimates between
+    similar tasks (the ``M(a)`` set of Eq. 3).
+    """
+
+    name: str
+    dag: ComputeDAG
+    weight: float
+    similarity_group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"subgraph {self.name!r} has non-positive weight {self.weight}")
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs contributed by all appearances of this subgraph."""
+        return self.weight * self.dag.flops
+
+
+@dataclass
+class NetworkGraph:
+    """A network described as its distinct subgraphs and their multiplicities."""
+
+    name: str
+    subgraphs: List[Subgraph]
+    batch_size: int = 1
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.subgraphs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate subgraph names in network {self.name!r}")
+        if not self.subgraphs:
+            raise ValueError("a network needs at least one subgraph")
+
+    def __len__(self) -> int:
+        return len(self.subgraphs)
+
+    def __iter__(self):
+        return iter(self.subgraphs)
+
+    def subgraph(self, name: str) -> Subgraph:
+        for sg in self.subgraphs:
+            if sg.name == name:
+                return sg
+        raise KeyError(name)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(sg.total_flops for sg in self.subgraphs)
+
+    def weights(self) -> Dict[str, float]:
+        return {sg.name: sg.weight for sg in self.subgraphs}
+
+    def estimated_latency(self, task_latencies: Dict[str, float]) -> float:
+        """End-to-end latency estimate ``sum_n w_n * g_n``.
+
+        Subgraphs missing from ``task_latencies`` (not yet tuned) contribute
+        ``inf`` so partially-tuned networks are not reported as faster than
+        they are.
+        """
+        total = 0.0
+        for sg in self.subgraphs:
+            latency = task_latencies.get(sg.name, float("inf"))
+            if latency == float("inf"):
+                return float("inf")
+            total += sg.weight * latency
+        return total
+
+    def top_subgraphs_by_flops(self, k: int) -> List[Subgraph]:
+        """The ``k`` most compute-heavy subgraphs (weighted by occurrences)."""
+        return sorted(self.subgraphs, key=lambda sg: sg.total_flops, reverse=True)[:k]

@@ -1,0 +1,103 @@
+"""MobileNet-V2 frontend.
+
+Each inverted-residual block contributes a 1x1 expansion convolution, a 3x3
+depthwise convolution and a 1x1 projection convolution; blocks with identical
+shapes are deduplicated into one subgraph with an occurrence count, matching
+the task partitioning used in the paper's end-to-end experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import conv2d, gemm
+
+__all__ = ["build_mobilenet_v2"]
+
+#: Standard MobileNet-V2 configuration rows: (expansion t, channels c, repeats n, stride s)
+_CONFIG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def build_mobilenet_v2(batch_size: int = 1, image_size: int = 224) -> NetworkGraph:
+    """Build the MobileNet-V2 subgraph inventory for a given batch size."""
+    subgraphs: List[Subgraph] = []
+
+    def add(name: str, dag, weight: float, group: str) -> None:
+        subgraphs.append(Subgraph(name=name, dag=dag, weight=weight, similarity_group=group))
+
+    size = image_size // 2  # after the stride-2 stem
+    add(
+        "stem_conv",
+        conv2d(image_size, image_size, 3, 32, 3, 2, 1, batch=batch_size, name=f"mbv2_stem_b{batch_size}"),
+        1,
+        "conv2d",
+    )
+
+    in_channels = 32
+    for row_idx, (t, c, n, s) in enumerate(_CONFIG):
+        for block in range(n):
+            stride = s if block == 0 else 1
+            block_in = in_channels if block == 0 else c
+            hidden = block_in * t
+            suffix = "first" if block == 0 else "rest"
+            weight = 1 if block == 0 else n - 1
+            if block > 1:
+                # Identical shapes for blocks 1..n-1 were already added once.
+                continue
+            prefix = f"ir{row_idx}_{suffix}"
+            if t != 1:
+                add(
+                    f"{prefix}_expand",
+                    conv2d(size, size, block_in, hidden, 1, 1, 0, batch=batch_size,
+                           name=f"mbv2_{prefix}_expand_b{batch_size}"),
+                    weight,
+                    "conv2d",
+                )
+            out_size = size // stride
+            add(
+                f"{prefix}_dwise",
+                conv2d(size, size, hidden, hidden, 3, stride, 1, batch=batch_size, groups=hidden,
+                       name=f"mbv2_{prefix}_dwise_b{batch_size}"),
+                weight,
+                "depthwise",
+            )
+            add(
+                f"{prefix}_project",
+                conv2d(out_size, out_size, hidden, c, 1, 1, 0, batch=batch_size,
+                       name=f"mbv2_{prefix}_project_b{batch_size}"),
+                weight,
+                "conv2d",
+            )
+            if block == 0:
+                size = out_size
+        in_channels = c
+
+    add(
+        "head_conv",
+        conv2d(size, size, 320, 1280, 1, 1, 0, batch=batch_size, name=f"mbv2_head_b{batch_size}"),
+        1,
+        "conv2d",
+    )
+    subgraphs.append(
+        Subgraph(
+            name="fc",
+            dag=gemm(1, 1280, 1000, batch=batch_size, name=f"mbv2_fc_b{batch_size}"),
+            weight=1,
+            similarity_group="gemm",
+        )
+    )
+    return NetworkGraph(
+        name=f"mobilenet_v2_b{batch_size}",
+        subgraphs=subgraphs,
+        batch_size=batch_size,
+        metadata={"image_size": image_size},
+    )

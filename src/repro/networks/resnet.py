@@ -1,0 +1,90 @@
+"""ResNet-50 frontend.
+
+The network is described as its distinct convolution / dense subgraphs with
+occurrence counts, which is what the relay graph partitioning of the paper
+produces (on the order of 24 distinct subgraphs for ResNet-50).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import conv2d, gemm
+
+__all__ = ["build_resnet50"]
+
+#: (spatial size, input channels, bottleneck channels, output channels, blocks)
+_STAGES = (
+    (56, 64, 64, 256, 3),
+    (28, 256, 128, 512, 4),
+    (14, 512, 256, 1024, 6),
+    (7, 1024, 512, 2048, 3),
+)
+
+
+def build_resnet50(batch_size: int = 1, image_size: int = 224) -> NetworkGraph:
+    """Build the ResNet-50 subgraph inventory for a given batch size."""
+    subgraphs: List[Subgraph] = []
+
+    def add(name: str, dag, weight: float) -> None:
+        subgraphs.append(Subgraph(name=name, dag=dag, weight=weight, similarity_group="conv2d"))
+
+    # Stem: 7x7 stride-2 convolution.
+    add(
+        "conv1_7x7",
+        conv2d(image_size, image_size, 3, 64, 7, 2, 3, batch=batch_size, name=f"resnet_conv1_b{batch_size}"),
+        1,
+    )
+
+    for stage_idx, (size, in_c, mid_c, out_c, blocks) in enumerate(_STAGES, start=2):
+        prefix = f"stage{stage_idx}"
+        # First block: reduce from the previous stage's channel count.
+        add(
+            f"{prefix}_reduce_first",
+            conv2d(size, size, in_c, mid_c, 1, 1, 0, batch=batch_size,
+                   name=f"resnet_{prefix}_reduce_first_b{batch_size}"),
+            1,
+        )
+        if blocks > 1:
+            add(
+                f"{prefix}_reduce",
+                conv2d(size, size, out_c, mid_c, 1, 1, 0, batch=batch_size,
+                       name=f"resnet_{prefix}_reduce_b{batch_size}"),
+                blocks - 1,
+            )
+        add(
+            f"{prefix}_3x3",
+            conv2d(size, size, mid_c, mid_c, 3, 1, 1, batch=batch_size,
+                   name=f"resnet_{prefix}_3x3_b{batch_size}"),
+            blocks,
+        )
+        add(
+            f"{prefix}_expand",
+            conv2d(size, size, mid_c, out_c, 1, 1, 0, batch=batch_size,
+                   name=f"resnet_{prefix}_expand_b{batch_size}"),
+            blocks,
+        )
+        # Projection shortcut of the first block.
+        add(
+            f"{prefix}_downsample",
+            conv2d(size, size, in_c, out_c, 1, 1, 0, batch=batch_size,
+                   name=f"resnet_{prefix}_downsample_b{batch_size}"),
+            1,
+        )
+
+    # Classifier head.
+    subgraphs.append(
+        Subgraph(
+            name="fc",
+            dag=gemm(1, 2048, 1000, batch=batch_size, name=f"resnet_fc_b{batch_size}"),
+            weight=1,
+            similarity_group="gemm",
+        )
+    )
+    return NetworkGraph(
+        name=f"resnet50_b{batch_size}",
+        subgraphs=subgraphs,
+        batch_size=batch_size,
+        metadata={"image_size": image_size},
+    )

@@ -1,0 +1,159 @@
+"""Persistence of tuning results (the equivalent of TVM's log-file records).
+
+Auto-scheduler users keep the best schedules found during long tuning runs so
+they can be re-applied without re-tuning.  This module serialises schedules
+and :class:`~repro.core.tuner.TuningResult` objects to JSON and restores the
+schedules against a freshly-built compute DAG.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.tuner import TuningResult
+from repro.tensor.dag import ComputeDAG
+from repro.tensor.schedule import Schedule
+from repro.tensor.sketch import generate_sketches
+
+__all__ = [
+    "TuningRecord",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "result_to_record",
+    "save_records",
+    "load_records",
+    "best_record",
+]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Serialise a schedule to a JSON-compatible dictionary."""
+    sketch = schedule.sketch
+    return {
+        "workload": sketch.dag.name,
+        "sketch_key": sketch.key,
+        "spatial_levels": sketch.spatial_levels,
+        "reduction_levels": sketch.reduction_levels,
+        "tile_sizes": [list(map(int, sizes)) for sizes in schedule.tile_sizes],
+        "compute_at_index": int(schedule.compute_at_index),
+        "num_parallel": int(schedule.num_parallel),
+        "unroll_index": int(schedule.unroll_index),
+        "unroll_depths": list(map(int, schedule.unroll_depths)),
+    }
+
+
+def schedule_from_dict(data: dict, dag: ComputeDAG) -> Schedule:
+    """Reconstruct a schedule against a compute DAG built by the caller.
+
+    The DAG must describe the same workload the record was produced from
+    (matching stage/iterator structure); the sketch is re-generated from the
+    stored rule key and tiling depths.
+    """
+    if data["workload"] != dag.name:
+        raise ValueError(
+            f"record belongs to workload {data['workload']!r}, not {dag.name!r}"
+        )
+    sketches = generate_sketches(
+        dag,
+        spatial_levels=int(data["spatial_levels"]),
+        reduction_levels=int(data["reduction_levels"]),
+    )
+    matches = [s for s in sketches if s.key == data["sketch_key"]]
+    if not matches:
+        raise ValueError(
+            f"sketch {data['sketch_key']!r} cannot be regenerated for {dag.name!r}"
+        )
+    return Schedule(
+        sketch=matches[0],
+        tile_sizes=[list(sizes) for sizes in data["tile_sizes"]],
+        compute_at_index=int(data["compute_at_index"]),
+        num_parallel=int(data["num_parallel"]),
+        unroll_index=int(data["unroll_index"]),
+        unroll_depths=tuple(int(d) for d in data["unroll_depths"]),
+    )
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One persisted tuning outcome: the best schedule found for a workload."""
+
+    workload: str
+    scheduler: str
+    latency: float
+    throughput: float
+    trials_used: int
+    schedule: Optional[dict]
+    history: List[List[float]]
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "latency": self.latency,
+            "throughput": self.throughput,
+            "trials_used": self.trials_used,
+            "schedule": self.schedule,
+            "history": self.history,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TuningRecord":
+        return TuningRecord(
+            workload=data["workload"],
+            scheduler=data["scheduler"],
+            latency=float(data["latency"]),
+            throughput=float(data["throughput"]),
+            trials_used=int(data["trials_used"]),
+            schedule=data.get("schedule"),
+            history=[list(map(float, pair)) for pair in data.get("history", [])],
+        )
+
+    def restore_schedule(self, dag: ComputeDAG) -> Schedule:
+        if self.schedule is None:
+            raise ValueError(f"record for {self.workload!r} holds no schedule")
+        return schedule_from_dict(self.schedule, dag)
+
+
+def result_to_record(result: TuningResult) -> TuningRecord:
+    """Convert a :class:`TuningResult` into a persistable record."""
+    return TuningRecord(
+        workload=result.workload,
+        scheduler=result.scheduler,
+        latency=float(result.best_latency),
+        throughput=float(result.best_throughput),
+        trials_used=int(result.trials_used),
+        schedule=schedule_to_dict(result.best_schedule) if result.best_schedule else None,
+        history=[[float(t), float(l)] for t, l in result.history],
+    )
+
+
+def save_records(path: Union[str, Path], records: Sequence[Union[TuningRecord, TuningResult]]) -> Path:
+    """Write records (or results, converted on the fly) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = []
+    for record in records:
+        if isinstance(record, TuningResult):
+            record = result_to_record(record)
+        payload.append(record.to_dict())
+    path.write_text(json.dumps({"version": 1, "records": payload}, indent=2))
+    return path
+
+
+def load_records(path: Union[str, Path]) -> List[TuningRecord]:
+    """Load records previously written by :func:`save_records`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported record file version: {data.get('version')!r}")
+    return [TuningRecord.from_dict(entry) for entry in data["records"]]
+
+
+def best_record(records: Sequence[TuningRecord], workload: str) -> TuningRecord:
+    """The lowest-latency record for a workload."""
+    matching = [r for r in records if r.workload == workload]
+    if not matching:
+        raise KeyError(f"no record for workload {workload!r}")
+    return min(matching, key=lambda r: r.latency)

@@ -1,0 +1,236 @@
+"""Compute DAG representation of tensor operators.
+
+A :class:`ComputeDAG` is the abstract computation definition that the
+auto-schedulers optimise.  It plays the role of TVM's ``te.ComputeDAG``: it
+records the stages of the computation (inputs, main compute stage, trailing
+element-wise stages), their loop iterators, and aggregate statistics (FLOPs,
+bytes moved) that the hardware simulator and feature extractor consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Iterator", "Stage", "ComputeDAG", "DTYPE_BYTES"]
+
+DTYPE_BYTES = 4  # fp32 throughout, matching the paper's benchmarks.
+
+SPATIAL = "spatial"
+REDUCTION = "reduction"
+
+
+@dataclass(frozen=True)
+class Iterator:
+    """A loop iterator of a stage.
+
+    ``kind`` is ``"spatial"`` for data-parallel axes and ``"reduction"`` for
+    reduction axes (the ``k`` loop of a GEMM, the channel/kernel loops of a
+    convolution, ...).
+    """
+
+    name: str
+    extent: int
+    kind: str = SPATIAL
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise ValueError(f"iterator {self.name!r} has non-positive extent {self.extent}")
+        if self.kind not in (SPATIAL, REDUCTION):
+            raise ValueError(f"unknown iterator kind {self.kind!r}")
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.kind == REDUCTION
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage (operation) of the compute DAG.
+
+    ``kind`` classifies the stage:
+
+    * ``"input"`` — placeholder tensors, never scheduled.
+    * ``"compute"`` — the compute-intensive stage (matmul / conv body).
+    * ``"elementwise"`` — cheap element-wise stages (bias add, ReLU, padding,
+      tanh, ...) that are candidates for inlining or fusion.
+    * ``"reduction"`` — light reduction stages (softmax row max/sum).
+    """
+
+    name: str
+    iters: Tuple[Iterator, ...]
+    kind: str = "compute"
+    producers: Tuple[str, ...] = ()
+    flops_per_element: float = 0.0
+
+    @property
+    def spatial_iters(self) -> Tuple[Iterator, ...]:
+        return tuple(it for it in self.iters if not it.is_reduction)
+
+    @property
+    def reduction_iters(self) -> Tuple[Iterator, ...]:
+        return tuple(it for it in self.iters if it.is_reduction)
+
+    @property
+    def output_elements(self) -> int:
+        out = 1
+        for it in self.spatial_iters:
+            out *= it.extent
+        return out
+
+    @property
+    def iteration_space(self) -> int:
+        out = 1
+        for it in self.iters:
+            out *= it.extent
+        return out
+
+    @property
+    def flops(self) -> float:
+        return float(self.iteration_space) * self.flops_per_element
+
+
+@dataclass
+class ComputeDAG:
+    """The computation definition of one subgraph.
+
+    Attributes
+    ----------
+    name:
+        Human readable workload name (e.g. ``"gemm_1024x1024x1024_b1"``).
+    stages:
+        All stages, topologically ordered (inputs first).
+    main_stage_name:
+        Name of the compute-intensive stage that the multi-level tiling rules
+        apply to.
+    input_bytes / output_bytes:
+        Total bytes of the input and output tensors; consumed by the memory
+        model of the hardware simulator.
+    tags:
+        Free-form workload metadata (operator class, shape tuple, batch size).
+    """
+
+    name: str
+    stages: List[Stage]
+    main_stage_name: str
+    input_bytes: float
+    output_bytes: float
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in DAG {self.name!r}")
+        if self.main_stage_name not in names:
+            raise ValueError(
+                f"main stage {self.main_stage_name!r} not among stages {names} of {self.name!r}"
+            )
+        for stage in self.stages:
+            for producer in stage.producers:
+                if producer not in names:
+                    raise ValueError(
+                        f"stage {stage.name!r} references unknown producer {producer!r}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def main_stage(self) -> Stage:
+        return self.stage(self.main_stage_name)
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    @property
+    def compute_stages(self) -> List[Stage]:
+        return [s for s in self.stages if s.kind != "input"]
+
+    @property
+    def elementwise_stages(self) -> List[Stage]:
+        return [s for s in self.stages if s.kind == "elementwise"]
+
+    def consumers(self, name: str) -> List[Stage]:
+        return [s for s in self.stages if name in s.producers]
+
+    @property
+    def flops(self) -> float:
+        """Total floating point operations of the whole DAG."""
+        return float(sum(s.flops for s in self.compute_stages))
+
+    @property
+    def spatial_iters(self) -> Tuple[Iterator, ...]:
+        return self.main_stage.spatial_iters
+
+    @property
+    def reduction_iters(self) -> Tuple[Iterator, ...]:
+        return self.main_stage.reduction_iters
+
+    @property
+    def has_data_reuse(self) -> bool:
+        """Whether the main stage exhibits data reuse (a reduction axis)."""
+        return len(self.reduction_iters) > 0
+
+    @property
+    def has_fusable_consumer(self) -> bool:
+        """Whether an element-wise consumer of the main stage exists."""
+        return any(s.kind == "elementwise" for s in self.consumers(self.main_stage_name))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.input_bytes + self.output_bytes)
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of compulsory traffic — drives memory- vs compute-bound behaviour."""
+        return self.flops / max(self.total_bytes, 1.0)
+
+    def compute_at_candidates(self) -> List[Tuple[str, int]]:
+        """Candidate (stage, loop index) positions for compute-at placement.
+
+        The candidates are the positions where a producer/epilogue stage may be
+        computed: "root" (index ``-1``) plus every spatial loop level of the
+        main stage.  The list is sorted from outermost to innermost, matching
+        the candidate ordering described in Section 4.2 of the paper.
+        """
+        candidates: List[Tuple[str, int]] = [("root", -1)]
+        for idx, _ in enumerate(self.main_stage.spatial_iters):
+            candidates.append((self.main_stage_name, idx))
+        return candidates
+
+    def workload_key(self) -> str:
+        """Stable identifier used for caching / task deduplication."""
+        parts = [self.name]
+        for stage in self.stages:
+            parts.append(stage.name)
+            parts.extend(f"{it.name}:{it.extent}:{it.kind}" for it in stage.iters)
+        return "|".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ComputeDAG(name={self.name!r}, stages={len(self.stages)}, "
+            f"flops={self.flops:.3g})"
+        )
+
+
+def make_stage(
+    name: str,
+    spatial: Sequence[Tuple[str, int]],
+    reduction: Sequence[Tuple[str, int]] = (),
+    kind: str = "compute",
+    producers: Sequence[str] = (),
+    flops_per_element: float = 0.0,
+) -> Stage:
+    """Helper to build a :class:`Stage` from (name, extent) pairs."""
+    iters = tuple(Iterator(n, e, SPATIAL) for n, e in spatial) + tuple(
+        Iterator(n, e, REDUCTION) for n, e in reduction
+    )
+    return Stage(
+        name=name,
+        iters=iters,
+        kind=kind,
+        producers=tuple(producers),
+        flops_per_element=flops_per_element,
+    )

@@ -1,0 +1,125 @@
+"""Integer factorisation helpers used for tile-size manipulation.
+
+Tile sizes in a schedule are represented as a list of positive integer factors
+whose product equals the loop extent.  The tiling modification of Table 3
+moves the smallest prime factor (> 1) from one tile slot to another, so most
+of the arithmetic here is about prime factors and factorisations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "prime_factors",
+    "smallest_prime_factor",
+    "all_factorizations",
+    "random_factorization",
+    "move_factor",
+    "product",
+]
+
+
+def product(values: Sequence[int]) -> int:
+    """Integer product of a sequence (1 for the empty sequence)."""
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+@lru_cache(maxsize=4096)
+def prime_factors(n: int) -> tuple:
+    """Return the prime factorisation of ``n`` as a sorted tuple.
+
+    ``prime_factors(12) == (2, 2, 3)``; ``prime_factors(1) == ()``.
+    """
+    if n < 1:
+        raise ValueError(f"extent must be positive, got {n}")
+    factors: List[int] = []
+    remaining = n
+    d = 2
+    while d * d <= remaining:
+        while remaining % d == 0:
+            factors.append(d)
+            remaining //= d
+        d += 1 if d == 2 else 2
+    if remaining > 1:
+        factors.append(remaining)
+    return tuple(factors)
+
+
+def smallest_prime_factor(n: int) -> int:
+    """Smallest prime factor of ``n`` (> 1).  Raises for ``n <= 1``."""
+    if n <= 1:
+        raise ValueError(f"no prime factor for {n}")
+    return prime_factors(n)[0]
+
+
+def all_factorizations(extent: int, levels: int, limit: int = 2048) -> List[List[int]]:
+    """Enumerate factorisations of ``extent`` into ``levels`` ordered factors.
+
+    Used by tests and by exhaustive baselines on small spaces.  The number of
+    factorisations grows combinatorially, so enumeration stops after ``limit``
+    entries.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    results: List[List[int]] = []
+
+    def recurse(remaining: int, slots: int, prefix: List[int]) -> None:
+        if len(results) >= limit:
+            return
+        if slots == 1:
+            results.append(prefix + [remaining])
+            return
+        for f in _divisors(remaining):
+            recurse(remaining // f, slots - 1, prefix + [f])
+            if len(results) >= limit:
+                return
+
+    recurse(extent, levels, [])
+    return results
+
+
+@lru_cache(maxsize=4096)
+def _divisors(n: int) -> tuple:
+    divs = [d for d in range(1, n + 1) if n % d == 0]
+    return tuple(divs)
+
+
+def random_factorization(extent: int, levels: int, rng: np.random.Generator) -> List[int]:
+    """Sample a uniform-ish random factorisation of ``extent`` into ``levels`` factors.
+
+    Each prime factor of the extent is assigned to a uniformly random slot,
+    which covers the whole factorisation space (every factorisation has
+    positive probability).
+    """
+    sizes = [1] * levels
+    for p in prime_factors(extent):
+        slot = int(rng.integers(0, levels))
+        sizes[slot] *= p
+    return sizes
+
+
+def move_factor(sizes: Sequence[int], src: int, dst: int) -> List[int]:
+    """Move the smallest prime factor (> 1) from slot ``src`` to slot ``dst``.
+
+    Returns a new list; the original is not modified.  If the source slot is 1
+    (nothing to move) or ``src == dst``, the factorisation is returned
+    unchanged — that mirrors the "dummy" semantics of invalid tiling moves.
+    """
+    sizes = [int(s) for s in sizes]
+    if src == dst:
+        return sizes
+    if not (0 <= src < len(sizes)) or not (0 <= dst < len(sizes)):
+        raise IndexError(f"slot out of range: src={src}, dst={dst}, len={len(sizes)}")
+    if sizes[src] <= 1:
+        return sizes
+    p = smallest_prime_factor(sizes[src])
+    sizes[src] //= p
+    sizes[dst] *= p
+    return sizes

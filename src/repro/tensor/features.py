@@ -1,0 +1,107 @@
+"""Feature extraction for schedules.
+
+Both the learned cost model and the RL agent consume a fixed-length numeric
+feature vector describing a schedule: log-scale tile sizes per iterator and
+level, loop extents, parallelisation / unrolling / compute-at knobs and
+aggregate workload statistics.  The layout is padded to fixed maxima so every
+operator class produces vectors of the same size (:data:`FEATURE_SIZE`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.tensor.schedule import Schedule
+
+__all__ = ["FEATURE_SIZE", "schedule_features", "batch_features"]
+
+#: Padding maxima: conv3d has 5 spatial iterators (n, co, od, oh, ow) and
+#: 4 reduction iterators (ci, kd, kh, kw); GPU sketches use up to 5 spatial
+#: and 3 reduction tiling levels.
+MAX_SPATIAL_ITERS = 5
+MAX_REDUCTION_ITERS = 4
+MAX_SPATIAL_LEVELS = 5
+MAX_REDUCTION_LEVELS = 3
+
+_TILE_BLOCK = MAX_SPATIAL_ITERS * MAX_SPATIAL_LEVELS + MAX_REDUCTION_ITERS * MAX_REDUCTION_LEVELS
+_EXTENT_BLOCK = MAX_SPATIAL_ITERS + MAX_REDUCTION_ITERS
+_SCALAR_BLOCK = 13
+
+FEATURE_SIZE = _TILE_BLOCK + _EXTENT_BLOCK + _SCALAR_BLOCK
+
+
+def _log2(value: float) -> float:
+    return float(np.log2(max(float(value), 1.0)))
+
+
+def schedule_features(schedule: Schedule) -> np.ndarray:
+    """Compute the feature vector of one schedule.
+
+    Layout (all tile sizes and extents are ``log2``-scaled):
+
+    1. spatial tile sizes — ``MAX_SPATIAL_ITERS x MAX_SPATIAL_LEVELS`` slots,
+    2. reduction tile sizes — ``MAX_REDUCTION_ITERS x MAX_REDUCTION_LEVELS`` slots,
+    3. spatial / reduction iterator extents,
+    4. scalar knobs and workload statistics (parallel extent, unroll depth,
+       compute-at position, register-tile volume, FLOPs, arithmetic intensity,
+       sketch flags, ...).
+    """
+    out = np.zeros(FEATURE_SIZE, dtype=np.float64)
+    dag = schedule.dag
+
+    # --- tile sizes -------------------------------------------------- #
+    offset = 0
+    spatial = schedule.spatial_tile_sizes()
+    for i in range(MAX_SPATIAL_ITERS):
+        for j in range(MAX_SPATIAL_LEVELS):
+            if i < len(spatial) and j < len(spatial[i]):
+                out[offset] = _log2(spatial[i][j])
+            offset += 1
+    reduction = schedule.reduction_tile_sizes()
+    for i in range(MAX_REDUCTION_ITERS):
+        for j in range(MAX_REDUCTION_LEVELS):
+            if i < len(reduction) and j < len(reduction[i]):
+                out[offset] = _log2(reduction[i][j])
+            offset += 1
+
+    # --- iterator extents -------------------------------------------- #
+    spatial_iters = dag.main_stage.spatial_iters
+    for i in range(MAX_SPATIAL_ITERS):
+        if i < len(spatial_iters):
+            out[offset] = _log2(spatial_iters[i].extent)
+        offset += 1
+    reduction_iters = dag.main_stage.reduction_iters
+    for i in range(MAX_REDUCTION_ITERS):
+        if i < len(reduction_iters):
+            out[offset] = _log2(reduction_iters[i].extent)
+        offset += 1
+
+    # --- scalar knobs and workload statistics ------------------------ #
+    n_candidates = len(dag.compute_at_candidates())
+    scalars = [
+        float(schedule.num_parallel),
+        float(schedule.num_parallel) / max(schedule.max_parallel, 1),
+        _log2(schedule.parallel_extent()),
+        _log2(schedule.unroll_depth + 1),
+        float(schedule.compute_at_index) / max(n_candidates - 1, 1),
+        _log2(schedule.innermost_spatial_volume()),
+        _log2(schedule.innermost_reduction_volume()),
+        _log2(spatial[-1][-1] if spatial else 1),  # vectorisable innermost tile
+        _log2(dag.flops),
+        _log2(dag.arithmetic_intensity() + 1.0),
+        1.0 if schedule.sketch.fuse_consumer else 0.0,
+        1.0 if schedule.sketch.cache_write else 0.0,
+        1.0 if schedule.sketch.rfactor else 0.0,
+    ]
+    assert len(scalars) == _SCALAR_BLOCK
+    out[offset : offset + _SCALAR_BLOCK] = scalars
+    return out
+
+
+def batch_features(schedules: Sequence[Schedule]) -> np.ndarray:
+    """Stack feature vectors for a batch of schedules (``(N, FEATURE_SIZE)``)."""
+    if not schedules:
+        return np.zeros((0, FEATURE_SIZE), dtype=np.float64)
+    return np.stack([schedule_features(s) for s in schedules], axis=0)

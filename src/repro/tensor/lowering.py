@@ -1,0 +1,116 @@
+"""Lowering a schedule to loop-nest pseudo-code.
+
+TVM lowers a schedule to TIR before codegen; this repository's simulator does
+not need generated code, but a human-readable loop nest is invaluable for
+inspecting what a schedule actually does (and for documentation / examples).
+:func:`lower_schedule` renders the tiled loop structure, parallel/vectorise/
+unroll annotations, the compute-at placement of the fused or cached stage and
+the inlined epilogue stages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tensor.schedule import Schedule
+
+__all__ = ["lower_schedule", "loop_structure"]
+
+
+def loop_structure(schedule: Schedule) -> List[dict]:
+    """The ordered loop nest of a schedule.
+
+    Returns one dict per loop, outermost first, with keys ``name`` (e.g.
+    ``"i.1"``), ``extent``, ``kind`` (``"spatial"``/``"reduction"``) and
+    ``annotation`` (``"parallel"``, ``"vectorize"``, ``"unroll"`` or ``""``).
+
+    The ordering follows the classic multi-level tiling structure Ansor
+    generates: all level-0 spatial loops, level-0 reduction loops, level-1
+    spatial loops, level-1 reduction loops, ... with the innermost spatial
+    level last (the vectorised axis).
+    """
+    tiled = schedule.sketch.tiled_iters
+    spatial = [(name, sizes) for (name, kind, _e, _l), sizes in zip(tiled, schedule.tile_sizes) if kind == "spatial"]
+    reduction = [(name, sizes) for (name, kind, _e, _l), sizes in zip(tiled, schedule.tile_sizes) if kind == "reduction"]
+
+    spatial_levels = max((len(sizes) for _n, sizes in spatial), default=0)
+    reduction_levels = max((len(sizes) for _n, sizes in reduction), default=0)
+
+    loops: List[dict] = []
+
+    def add(name: str, level: int, extent: int, kind: str) -> None:
+        loops.append({"name": f"{name}.{level}", "extent": int(extent), "kind": kind, "annotation": ""})
+
+    # Interleave: spatial level 0, reduction level 0, spatial level 1, ... The
+    # final spatial level forms the register/vector tile and stays innermost.
+    for level in range(spatial_levels - 1):
+        for name, sizes in spatial:
+            add(name, level, sizes[level], "spatial")
+        if level < reduction_levels:
+            for name, sizes in reduction:
+                add(name, level, sizes[level], "reduction")
+    # Remaining reduction levels go right above the innermost spatial tile.
+    for level in range(spatial_levels - 1, reduction_levels):
+        for name, sizes in reduction:
+            add(name, level, sizes[level], "reduction")
+    for name, sizes in spatial:
+        add(name, len(sizes) - 1, sizes[-1], "spatial")
+
+    # Annotations: fused parallel outer loops, unrolled body, vectorised last axis.
+    for i in range(min(schedule.num_parallel, len(spatial))):
+        loops[i]["annotation"] = "parallel"
+    if loops:
+        loops[-1]["annotation"] = "vectorize"
+    if schedule.unroll_depth > 0 and len(loops) >= 2:
+        loops[-2]["annotation"] = (
+            f"unroll(depth={schedule.unroll_depth})"
+            if loops[-2]["annotation"] == ""
+            else loops[-2]["annotation"]
+        )
+    return loops
+
+
+def lower_schedule(schedule: Schedule) -> str:
+    """Render a schedule as an indented loop-nest pseudo-program."""
+    dag = schedule.dag
+    sketch = schedule.sketch
+    lines: List[str] = []
+    lines.append(f"// workload: {dag.name}")
+    lines.append(f"// sketch:   {sketch.key}")
+    if sketch.inlined_stages:
+        lines.append(f"// inlined:  {', '.join(sketch.inlined_stages)}")
+    if sketch.cache_write:
+        lines.append(f"{dag.main_stage_name}_cache = alloc_cache()")
+    if sketch.rfactor:
+        lines.append(f"{dag.main_stage_name}_rf = rfactor({dag.main_stage_name})")
+
+    candidates = dag.compute_at_candidates()
+    ca_stage, ca_loop = candidates[schedule.compute_at_index]
+
+    loops = loop_structure(schedule)
+    indent = 0
+    spatial_seen = 0
+    epilogue = [s.name for s in dag.elementwise_stages if dag.main_stage_name in s.producers]
+    attached_line = None
+    for loop in loops:
+        annotation = f"  // {loop['annotation']}" if loop["annotation"] else ""
+        lines.append("  " * indent + f"for {loop['name']} in range({loop['extent']}):{annotation}")
+        indent += 1
+        if loop["kind"] == "spatial":
+            # Attach the fused consumer / cached write-back at the compute-at loop.
+            if ca_stage != "root" and spatial_seen == ca_loop and attached_line is None:
+                attached_line = indent
+            spatial_seen += 1
+
+    body = f"{dag.main_stage_name}[...] += compute(...)"
+    lines.append("  " * indent + body)
+    if sketch.fuse_consumer and epilogue:
+        at = attached_line if attached_line is not None else indent
+        lines.append("  " * at + f"{epilogue[0]}[...] = epilogue(...)  // fused consumer")
+    elif sketch.cache_write:
+        at = attached_line if attached_line is not None else 1
+        lines.append("  " * at + f"{dag.main_stage_name}[...] = {dag.main_stage_name}_cache[...]  // cache write-back")
+    elif epilogue:
+        lines.append(f"for i in range({dag.main_stage.output_elements}):  // separate epilogue")
+        lines.append(f"  {epilogue[0]}[...] = epilogue(...)")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Random initial schedule sampling.
+
+Each search round (an RL "episode" in HARL, a generation in Ansor's
+evolutionary search) starts from a batch of randomly sampled schedule states:
+the chosen sketch's tile slots are filled by randomly distributing the prime
+factors of each loop extent, and the remaining knobs (compute-at, parallel
+loop count, unroll depth) are drawn uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.factors import random_factorization
+from repro.tensor.schedule import CPU_UNROLL_DEPTHS, Schedule
+from repro.tensor.sketch import Sketch
+
+__all__ = ["sample_schedule", "sample_initial_schedules"]
+
+
+def sample_schedule(
+    sketch: Sketch,
+    rng: np.random.Generator,
+    unroll_depths: Tuple[int, ...] = CPU_UNROLL_DEPTHS,
+) -> Schedule:
+    """Sample one random schedule for ``sketch``."""
+    tile_sizes = [
+        random_factorization(extent, levels, rng)
+        for (_name, _kind, extent, levels) in sketch.tiled_iters
+    ]
+    n_candidates = len(sketch.dag.compute_at_candidates())
+    max_parallel = len(sketch.dag.main_stage.spatial_iters)
+    return Schedule(
+        sketch=sketch,
+        tile_sizes=tile_sizes,
+        compute_at_index=int(rng.integers(0, n_candidates)),
+        num_parallel=int(rng.integers(0, max_parallel + 1)),
+        unroll_index=int(rng.integers(0, len(unroll_depths))),
+        unroll_depths=unroll_depths,
+    )
+
+
+def sample_initial_schedules(
+    sketch: Sketch,
+    count: int,
+    rng: np.random.Generator,
+    unroll_depths: Tuple[int, ...] = CPU_UNROLL_DEPTHS,
+    dedup: bool = True,
+    max_attempts_factor: int = 8,
+) -> List[Schedule]:
+    """Sample ``count`` initial schedules (the starting points of schedule tracks).
+
+    With ``dedup`` enabled (the default) the sampler retries to avoid exact
+    duplicates; if the space is too small to provide ``count`` distinct
+    schedules, duplicates are allowed so the caller always receives exactly
+    ``count`` entries.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    schedules: List[Schedule] = []
+    seen = set()
+    attempts = 0
+    max_attempts = count * max_attempts_factor
+    while len(schedules) < count and attempts < max_attempts:
+        attempts += 1
+        candidate = sample_schedule(sketch, rng, unroll_depths)
+        if dedup and candidate.signature() in seen:
+            continue
+        seen.add(candidate.signature())
+        schedules.append(candidate)
+    while len(schedules) < count:
+        schedules.append(sample_schedule(sketch, rng, unroll_depths))
+    return schedules

@@ -1,0 +1,207 @@
+"""Sketch generation (Table 2 of the paper).
+
+A *sketch* is the high-level structure of a tensor program: which stages are
+inlined, how many tiling levels the main compute stage gets, whether the
+output is cached, whether the reduction is factorised (rfactor) and whether
+the element-wise consumer is fused into the tiled loop nest.  The generation
+rules mirror Ansor's: Skip, Inline, Tiling, Tiling-with-Fusion, Cache-Write
+and rfactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.tensor.dag import ComputeDAG
+
+__all__ = ["Sketch", "generate_sketches", "SKETCH_RULES"]
+
+SKETCH_RULES = (
+    "skip",
+    "inline",
+    "tiling",
+    "tiling_with_fusion",
+    "cache_write",
+    "rfactor",
+)
+
+#: Minimum total reduction extent for the rfactor rule to fire.  rfactor only
+#: pays off when there is enough reduction parallelism to exploit.
+RFACTOR_MIN_REDUCTION = 64
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """High-level program structure for one subgraph.
+
+    Attributes
+    ----------
+    dag:
+        The compute DAG this sketch belongs to.
+    rules:
+        Names of the generation rules applied (subset of :data:`SKETCH_RULES`).
+    spatial_levels / reduction_levels:
+        Number of tiling levels for spatial and reduction iterators of the
+        main stage (4/2 on CPU, 5/3 on GPU per Ansor's structure).
+    fuse_consumer:
+        Whether the element-wise consumer is fused into the tiled loop nest.
+    cache_write:
+        Whether an output cache-write stage is added.
+    rfactor:
+        Whether the reduction is factorised for reduction parallelism.
+    inlined_stages:
+        Names of element-wise producer stages that are inlined.
+    """
+
+    dag: ComputeDAG
+    rules: Tuple[str, ...]
+    spatial_levels: int
+    reduction_levels: int
+    fuse_consumer: bool = False
+    cache_write: bool = False
+    rfactor: bool = False
+    inlined_stages: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = set(self.rules) - set(SKETCH_RULES)
+        if unknown:
+            raise ValueError(f"unknown sketch rules: {sorted(unknown)}")
+        if self.spatial_levels < 1 or self.reduction_levels < 1:
+            raise ValueError("tiling levels must be >= 1")
+        if self.fuse_consumer and self.cache_write:
+            raise ValueError("fuse_consumer and cache_write are mutually exclusive")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tiled_iters(self) -> List[Tuple[str, str, int, int]]:
+        """Flattened description of the tiled loop nest.
+
+        Returns a list of ``(iter_name, kind, extent, levels)`` tuples — one
+        entry per iterator of the main stage, spatial iterators first (in
+        declaration order) followed by reduction iterators.
+        """
+        out: List[Tuple[str, str, int, int]] = []
+        for it in self.dag.main_stage.spatial_iters:
+            out.append((it.name, it.kind, it.extent, self.spatial_levels))
+        for it in self.dag.main_stage.reduction_iters:
+            out.append((it.name, it.kind, it.extent, self.reduction_levels))
+        return out
+
+    @property
+    def num_tile_slots(self) -> int:
+        """Total number of tile-size slots (``num_iters`` in Table 3)."""
+        return sum(levels for *_, levels in self.tiled_iters)
+
+    @property
+    def key(self) -> str:
+        flags = []
+        if self.fuse_consumer:
+            flags.append("fuse")
+        if self.cache_write:
+            flags.append("cache_write")
+        if self.rfactor:
+            flags.append("rfactor")
+        return "+".join(["tiling"] + flags) if flags else "tiling"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sketch({self.dag.name!r}, {self.key})"
+
+
+def _inline_candidates(dag: ComputeDAG) -> Tuple[str, ...]:
+    """Element-wise producers of the main stage are always inlined (Inline rule)."""
+    inlined = []
+    for stage in dag.elementwise_stages:
+        if stage.name in dag.main_stage.producers:
+            inlined.append(stage.name)
+    return tuple(inlined)
+
+
+def generate_sketches(
+    dag: ComputeDAG,
+    spatial_levels: int = 4,
+    reduction_levels: int = 2,
+) -> List[Sketch]:
+    """Generate all sketches for ``dag`` following the rules of Table 2.
+
+    For a compute stage with data reuse (a reduction axis) the generated set
+    is:
+
+    * plain multi-level tiling,
+    * tiling with consumer fusion (when an element-wise consumer exists) or
+      tiling with an output cache-write stage (when it does not),
+    * an additional rfactor variant when the reduction extent is large enough
+      for reduction parallelism.
+
+    A GEMM with a bias epilogue therefore has 3 sketches, matching the count
+    quoted in Section 4.1 of the paper.  Stages without reduction get a single
+    light-weight sketch (parallel + vectorise structure).
+    """
+    inlined = _inline_candidates(dag)
+    base_rules: Tuple[str, ...] = ("inline",) if inlined else ("skip",)
+    sketches: List[Sketch] = []
+
+    if not dag.has_data_reuse:
+        sketches.append(
+            Sketch(
+                dag=dag,
+                rules=base_rules + ("tiling",),
+                spatial_levels=min(2, spatial_levels),
+                reduction_levels=1,
+                inlined_stages=inlined,
+            )
+        )
+        return sketches
+
+    # Rule: multi-level tiling.
+    sketches.append(
+        Sketch(
+            dag=dag,
+            rules=base_rules + ("tiling",),
+            spatial_levels=spatial_levels,
+            reduction_levels=reduction_levels,
+            inlined_stages=inlined,
+        )
+    )
+
+    # Rule: tiling with fusion (consumer exists) or cache write (no consumer).
+    if dag.has_fusable_consumer:
+        sketches.append(
+            Sketch(
+                dag=dag,
+                rules=base_rules + ("tiling_with_fusion",),
+                spatial_levels=spatial_levels,
+                reduction_levels=reduction_levels,
+                fuse_consumer=True,
+                inlined_stages=inlined,
+            )
+        )
+    else:
+        sketches.append(
+            Sketch(
+                dag=dag,
+                rules=base_rules + ("tiling", "cache_write"),
+                spatial_levels=spatial_levels,
+                reduction_levels=reduction_levels,
+                cache_write=True,
+                inlined_stages=inlined,
+            )
+        )
+
+    # Rule: rfactor when there is enough reduction parallelism.
+    total_reduction = 1
+    for it in dag.reduction_iters:
+        total_reduction *= it.extent
+    if total_reduction >= RFACTOR_MIN_REDUCTION:
+        sketches.append(
+            Sketch(
+                dag=dag,
+                rules=base_rules + ("tiling", "rfactor"),
+                spatial_levels=spatial_levels,
+                reduction_levels=reduction_levels,
+                rfactor=True,
+                inlined_stages=inlined,
+            )
+        )
+
+    return sketches

@@ -1,0 +1,442 @@
+"""Workload (operator) definitions.
+
+Each factory builds a :class:`~repro.tensor.dag.ComputeDAG` describing one of
+the tensor operators evaluated in the paper: GEMM, batched GEMM, 1D/2D/3D
+convolution, transposed 2D convolution, softmax, element-wise chains and the
+BERT pooler GEMM+tanh.  Shapes follow Table 6 of the paper (see
+``repro.experiments.operator_suite`` for the exact benchmark configurations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.tensor.dag import DTYPE_BYTES, ComputeDAG, make_stage
+
+__all__ = [
+    "gemm",
+    "batch_gemm",
+    "gemm_tanh",
+    "conv1d",
+    "conv2d",
+    "conv3d",
+    "conv2d_transpose",
+    "softmax",
+    "elementwise",
+]
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def gemm(m: int, k: int, n: int, batch: int = 1, bias: bool = True, name: str | None = None) -> ComputeDAG:
+    """Dense matrix multiplication ``C[m, n] = sum_k A[m, k] * B[k, n]``.
+
+    ``batch`` multiplies the M dimension (batched rows), matching how the
+    paper scales operator benchmarks with batch size.  A bias-add epilogue is
+    attached by default so the Tiling-with-Fusion / Cache-Write sketch rules
+    have a consumer to work with.
+    """
+    m_total = m * batch
+    stages = [
+        make_stage("A", [("am", m_total), ("ak", k)], kind="input"),
+        make_stage("B", [("bk", k), ("bn", n)], kind="input"),
+        make_stage(
+            "matmul",
+            [("i", m_total), ("j", n)],
+            [("k", k)],
+            kind="compute",
+            producers=("A", "B"),
+            flops_per_element=2.0,
+        ),
+    ]
+    out_elems = m_total * n
+    if bias:
+        stages.append(
+            make_stage(
+                "bias_add",
+                [("i", m_total), ("j", n)],
+                kind="elementwise",
+                producers=("matmul",),
+                flops_per_element=1.0,
+            )
+        )
+    dag_name = name or f"gemm_m{m}k{k}n{n}_b{batch}"
+    return ComputeDAG(
+        name=dag_name,
+        stages=stages,
+        main_stage_name="matmul",
+        input_bytes=DTYPE_BYTES * (m_total * k + k * n),
+        output_bytes=DTYPE_BYTES * out_elems,
+        tags={"op": "gemm", "shape": (m, k, n), "batch": batch},
+    )
+
+
+def batch_gemm(b: int, m: int, k: int, n: int, batch: int = 1, name: str | None = None) -> ComputeDAG:
+    """Batched matrix multiplication ``C[b, m, n] = sum_k A[b, m, k] * B[b, k, n]``.
+
+    Used for the attention score / context matmuls of BERT (``Batch_GEMM-I/II``
+    in Table 4).
+    """
+    b_total = b * batch
+    stages = [
+        make_stage("A", [("ab", b_total), ("am", m), ("ak", k)], kind="input"),
+        make_stage("B", [("bb", b_total), ("bk", k), ("bn", n)], kind="input"),
+        make_stage(
+            "batch_matmul",
+            [("b", b_total), ("i", m), ("j", n)],
+            [("k", k)],
+            kind="compute",
+            producers=("A", "B"),
+            flops_per_element=2.0,
+        ),
+    ]
+    return ComputeDAG(
+        name=name or f"batch_gemm_b{b}m{m}k{k}n{n}_batch{batch}",
+        stages=stages,
+        main_stage_name="batch_matmul",
+        input_bytes=DTYPE_BYTES * (b_total * m * k + b_total * k * n),
+        output_bytes=DTYPE_BYTES * b_total * m * n,
+        tags={"op": "batch_gemm", "shape": (b, m, k, n), "batch": batch},
+    )
+
+
+def gemm_tanh(m: int, k: int, n: int, batch: int = 1, name: str | None = None) -> ComputeDAG:
+    """GEMM followed by a tanh activation (the BERT pooler subgraph)."""
+    dag = gemm(m, k, n, batch=batch, bias=True, name=name or f"gemm_tanh_m{m}k{k}n{n}_b{batch}")
+    dag.stages.append(
+        make_stage(
+            "tanh",
+            [("i", m * batch), ("j", n)],
+            kind="elementwise",
+            producers=("bias_add",),
+            flops_per_element=4.0,
+        )
+    )
+    dag.tags["op"] = "gemm_tanh"
+    return dag
+
+
+def conv1d(
+    length: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int = 1,
+    name: str | None = None,
+) -> ComputeDAG:
+    """1D convolution (NCW layout) with a ReLU epilogue."""
+    out_l = _conv_out(length, kernel, stride, padding)
+    stages = [
+        make_stage("data", [("n", batch), ("ci", in_channels), ("l", length)], kind="input"),
+        make_stage("weight", [("co", out_channels), ("ci", in_channels), ("kl", kernel)], kind="input"),
+        make_stage(
+            "pad",
+            [("n", batch), ("ci", in_channels), ("l", length + 2 * padding)],
+            kind="elementwise",
+            producers=("data",),
+            flops_per_element=0.0,
+        ),
+        make_stage(
+            "conv1d",
+            [("n", batch), ("co", out_channels), ("ol", out_l)],
+            [("ci", in_channels), ("kl", kernel)],
+            kind="compute",
+            producers=("pad", "weight"),
+            flops_per_element=2.0,
+        ),
+        make_stage(
+            "relu",
+            [("n", batch), ("co", out_channels), ("ol", out_l)],
+            kind="elementwise",
+            producers=("conv1d",),
+            flops_per_element=1.0,
+        ),
+    ]
+    return ComputeDAG(
+        name=name or f"conv1d_l{length}ci{in_channels}co{out_channels}k{kernel}s{stride}p{padding}_b{batch}",
+        stages=stages,
+        main_stage_name="conv1d",
+        input_bytes=DTYPE_BYTES * (batch * in_channels * length + out_channels * in_channels * kernel),
+        output_bytes=DTYPE_BYTES * batch * out_channels * out_l,
+        tags={"op": "conv1d", "shape": (length, in_channels, out_channels, kernel, stride, padding), "batch": batch},
+    )
+
+
+def conv2d(
+    height: int,
+    width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int = 1,
+    groups: int = 1,
+    name: str | None = None,
+) -> ComputeDAG:
+    """2D convolution (NCHW layout) with a ReLU epilogue.
+
+    ``groups == in_channels == out_channels`` yields a depthwise convolution
+    (used by MobileNet-V2); grouped reduction extents shrink accordingly.
+    """
+    if in_channels % groups or out_channels % groups:
+        raise ValueError("channels must be divisible by groups")
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    ci_per_group = in_channels // groups
+    stages = [
+        make_stage("data", [("n", batch), ("ci", in_channels), ("h", height), ("w", width)], kind="input"),
+        make_stage(
+            "weight",
+            [("co", out_channels), ("ci", ci_per_group), ("kh", kernel), ("kw", kernel)],
+            kind="input",
+        ),
+        make_stage(
+            "pad",
+            [("n", batch), ("ci", in_channels), ("h", height + 2 * padding), ("w", width + 2 * padding)],
+            kind="elementwise",
+            producers=("data",),
+            flops_per_element=0.0,
+        ),
+        make_stage(
+            "conv2d",
+            [("n", batch), ("co", out_channels), ("oh", out_h), ("ow", out_w)],
+            [("ci", ci_per_group), ("kh", kernel), ("kw", kernel)],
+            kind="compute",
+            producers=("pad", "weight"),
+            flops_per_element=2.0,
+        ),
+        make_stage(
+            "relu",
+            [("n", batch), ("co", out_channels), ("oh", out_h), ("ow", out_w)],
+            kind="elementwise",
+            producers=("conv2d",),
+            flops_per_element=1.0,
+        ),
+    ]
+    op = "depthwise_conv2d" if groups == in_channels and groups > 1 else "conv2d"
+    return ComputeDAG(
+        name=name
+        or f"{op}_h{height}w{width}ci{in_channels}co{out_channels}k{kernel}s{stride}p{padding}_b{batch}",
+        stages=stages,
+        main_stage_name="conv2d",
+        input_bytes=DTYPE_BYTES
+        * (batch * in_channels * height * width + out_channels * ci_per_group * kernel * kernel),
+        output_bytes=DTYPE_BYTES * batch * out_channels * out_h * out_w,
+        tags={
+            "op": op,
+            "shape": (height, width, in_channels, out_channels, kernel, stride, padding),
+            "batch": batch,
+            "groups": groups,
+        },
+    )
+
+
+def conv3d(
+    depth: int,
+    height: int,
+    width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int = 1,
+    name: str | None = None,
+) -> ComputeDAG:
+    """3D convolution (NCDHW layout) with a ReLU epilogue."""
+    out_d = _conv_out(depth, kernel, stride, padding)
+    out_h = _conv_out(height, kernel, stride, padding)
+    out_w = _conv_out(width, kernel, stride, padding)
+    stages = [
+        make_stage(
+            "data",
+            [("n", batch), ("ci", in_channels), ("d", depth), ("h", height), ("w", width)],
+            kind="input",
+        ),
+        make_stage(
+            "weight",
+            [("co", out_channels), ("ci", in_channels), ("kd", kernel), ("kh", kernel), ("kw", kernel)],
+            kind="input",
+        ),
+        make_stage(
+            "conv3d",
+            [("n", batch), ("co", out_channels), ("od", out_d), ("oh", out_h), ("ow", out_w)],
+            [("ci", in_channels), ("kd", kernel), ("kh", kernel), ("kw", kernel)],
+            kind="compute",
+            producers=("data", "weight"),
+            flops_per_element=2.0,
+        ),
+        make_stage(
+            "relu",
+            [("n", batch), ("co", out_channels), ("od", out_d), ("oh", out_h), ("ow", out_w)],
+            kind="elementwise",
+            producers=("conv3d",),
+            flops_per_element=1.0,
+        ),
+    ]
+    return ComputeDAG(
+        name=name
+        or f"conv3d_d{depth}h{height}w{width}ci{in_channels}co{out_channels}k{kernel}s{stride}p{padding}_b{batch}",
+        stages=stages,
+        main_stage_name="conv3d",
+        input_bytes=DTYPE_BYTES
+        * (
+            batch * in_channels * depth * height * width
+            + out_channels * in_channels * kernel ** 3
+        ),
+        output_bytes=DTYPE_BYTES * batch * out_channels * out_d * out_h * out_w,
+        tags={
+            "op": "conv3d",
+            "shape": (depth, height, width, in_channels, out_channels, kernel, stride, padding),
+            "batch": batch,
+        },
+    )
+
+
+def conv2d_transpose(
+    height: int,
+    width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int = 1,
+    name: str | None = None,
+) -> ComputeDAG:
+    """Transposed 2D convolution (deconvolution), the T2D operator of Table 6."""
+    out_h = (height - 1) * stride - 2 * padding + kernel
+    out_w = (width - 1) * stride - 2 * padding + kernel
+    if out_h < 1 or out_w < 1:
+        raise ValueError("invalid transposed convolution geometry")
+    stages = [
+        make_stage("data", [("n", batch), ("ci", in_channels), ("h", height), ("w", width)], kind="input"),
+        make_stage(
+            "weight",
+            [("ci", in_channels), ("co", out_channels), ("kh", kernel), ("kw", kernel)],
+            kind="input",
+        ),
+        make_stage(
+            "dilate",
+            [("n", batch), ("ci", in_channels), ("dh", height * stride), ("dw", width * stride)],
+            kind="elementwise",
+            producers=("data",),
+            flops_per_element=0.0,
+        ),
+        make_stage(
+            "conv2d_transpose",
+            [("n", batch), ("co", out_channels), ("oh", out_h), ("ow", out_w)],
+            [("ci", in_channels), ("kh", kernel), ("kw", kernel)],
+            kind="compute",
+            producers=("dilate", "weight"),
+            flops_per_element=2.0,
+        ),
+    ]
+    return ComputeDAG(
+        name=name
+        or f"t2d_h{height}w{width}ci{in_channels}co{out_channels}k{kernel}s{stride}p{padding}_b{batch}",
+        stages=stages,
+        main_stage_name="conv2d_transpose",
+        input_bytes=DTYPE_BYTES
+        * (batch * in_channels * height * width + in_channels * out_channels * kernel * kernel),
+        output_bytes=DTYPE_BYTES * batch * out_channels * out_h * out_w,
+        tags={
+            "op": "conv2d_transpose",
+            "shape": (height, width, in_channels, out_channels, kernel, stride, padding),
+            "batch": batch,
+        },
+    )
+
+
+def softmax(rows: int, cols: int, batch: int = 1, name: str | None = None) -> ComputeDAG:
+    """Row-wise softmax over a ``rows x cols`` matrix (the BERT attention softmax)."""
+    r_total = rows * batch
+    stages = [
+        make_stage("logits", [("i", r_total), ("j", cols)], kind="input"),
+        make_stage(
+            "row_max",
+            [("i", r_total)],
+            [("j", cols)],
+            kind="reduction",
+            producers=("logits",),
+            flops_per_element=1.0,
+        ),
+        make_stage(
+            "exp",
+            [("i", r_total), ("j", cols)],
+            kind="compute",
+            producers=("logits", "row_max"),
+            flops_per_element=4.0,
+        ),
+        make_stage(
+            "row_sum",
+            [("i", r_total)],
+            [("j", cols)],
+            kind="reduction",
+            producers=("exp",),
+            flops_per_element=1.0,
+        ),
+        make_stage(
+            "normalize",
+            [("i", r_total), ("j", cols)],
+            kind="elementwise",
+            producers=("exp", "row_sum"),
+            flops_per_element=1.0,
+        ),
+    ]
+    return ComputeDAG(
+        name=name or f"softmax_r{rows}c{cols}_b{batch}",
+        stages=stages,
+        main_stage_name="exp",
+        input_bytes=DTYPE_BYTES * r_total * cols,
+        output_bytes=DTYPE_BYTES * r_total * cols,
+        tags={"op": "softmax", "shape": (rows, cols), "batch": batch},
+    )
+
+
+def elementwise(shape: Sequence[int], num_ops: int = 2, batch: int = 1, name: str | None = None) -> ComputeDAG:
+    """A chain of ``num_ops`` element-wise operations over a tensor of ``shape``.
+
+    Models the add-layernorm / GELU element-wise subgraphs of BERT
+    (``Element-wise-I/II`` in Table 4).
+    """
+    if num_ops < 1:
+        raise ValueError("num_ops must be >= 1")
+    dims = [("d0", int(shape[0]) * batch)] + [(f"d{i}", int(s)) for i, s in enumerate(shape[1:], start=1)]
+    elements = 1
+    for _, extent in dims:
+        elements *= extent
+    stages = [make_stage("x", dims, kind="input")]
+    prev = "x"
+    for idx in range(num_ops):
+        stage_name = f"ew{idx}"
+        kind = "compute" if idx == 0 else "elementwise"
+        stages.append(
+            make_stage(
+                stage_name,
+                dims,
+                kind=kind,
+                producers=(prev,),
+                flops_per_element=2.0,
+            )
+        )
+        prev = stage_name
+    return ComputeDAG(
+        name=name or f"elementwise_{'x'.join(str(s) for s in shape)}_ops{num_ops}_b{batch}",
+        stages=stages,
+        main_stage_name="ew0",
+        input_bytes=DTYPE_BYTES * elements,
+        output_bytes=DTYPE_BYTES * elements,
+        tags={"op": "elementwise", "shape": tuple(int(s) for s in shape), "batch": batch, "num_ops": num_ops},
+    )

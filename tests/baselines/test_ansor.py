@@ -1,0 +1,76 @@
+"""Unit tests for the Ansor-like baseline scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ansor import AnsorConfig, AnsorScheduler
+from repro.core.config import HARLConfig
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import gemm, softmax
+
+
+@pytest.fixture
+def ansor_config():
+    return AnsorConfig(population_size=16, generations=2, measures_per_round=4)
+
+
+@pytest.fixture
+def tiny_network():
+    return NetworkGraph(
+        name="tiny-net-ansor",
+        subgraphs=[
+            Subgraph("mm", gemm(128, 128, 128, name="ansor_mm"), weight=4, similarity_group="gemm"),
+            Subgraph("soft", softmax(128, 64, name="ansor_soft"), weight=2, similarity_group="softmax"),
+        ],
+    )
+
+
+class TestAnsorConfig:
+    def test_from_harl_matches_episode_width(self):
+        harl = HARLConfig.scaled(0.125)
+        cfg = AnsorConfig.from_harl(harl)
+        assert cfg.population_size == harl.num_tracks
+        assert cfg.measures_per_round == harl.measures_per_round
+
+
+class TestOperatorTuning:
+    def test_budget_respected(self, ansor_config, gemm_dag):
+        scheduler = AnsorScheduler(config=ansor_config, seed=0)
+        result = scheduler.tune(gemm_dag, n_trials=12)
+        assert result.scheduler == "ansor"
+        assert 12 <= result.trials_used <= 12 + ansor_config.measures_per_round
+        assert np.isfinite(result.best_latency)
+        assert result.best_schedule is not None
+
+    def test_history_nonincreasing(self, ansor_config, gemm_dag):
+        result = AnsorScheduler(config=ansor_config, seed=0).tune(gemm_dag, n_trials=16)
+        bests = [latency for _t, latency in result.history]
+        assert all(b <= a for a, b in zip(bests, bests[1:]))
+
+    def test_search_steps_counted(self, ansor_config, gemm_dag):
+        result = AnsorScheduler(config=ansor_config, seed=0).tune(gemm_dag, n_trials=8)
+        assert result.search_steps >= ansor_config.population_size
+
+    def test_rejects_bad_budget(self, ansor_config, gemm_dag):
+        with pytest.raises(ValueError):
+            AnsorScheduler(config=ansor_config).tune(gemm_dag, n_trials=0)
+
+    def test_deterministic_given_seed(self, ansor_config, gemm_dag):
+        a = AnsorScheduler(config=ansor_config, seed=7).tune(gemm_dag, n_trials=8)
+        b = AnsorScheduler(config=ansor_config, seed=7).tune(gemm_dag, n_trials=8)
+        assert a.best_latency == pytest.approx(b.best_latency)
+
+
+class TestNetworkTuning:
+    def test_all_tasks_tuned(self, ansor_config, tiny_network):
+        scheduler = AnsorScheduler(config=ansor_config, seed=0)
+        result = scheduler.tune_network(tiny_network, n_trials=24)
+        assert set(result.task_results) == {"mm", "soft"}
+        assert np.isfinite(result.best_latency)
+        assert sum(result.allocations.values()) == result.trials_used
+
+    def test_latency_history_monotone_once_finite(self, ansor_config, tiny_network):
+        result = AnsorScheduler(config=ansor_config, seed=1).tune_network(tiny_network, n_trials=24)
+        finite = [v for _t, v in result.latency_history if np.isfinite(v)]
+        assert finite
+        assert all(b <= a * 1.0001 for a, b in zip(finite, finite[1:]))

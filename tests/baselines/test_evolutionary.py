@@ -1,0 +1,80 @@
+"""Unit tests for the evolutionary search baseline component."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.evolutionary import EvolutionarySearch
+from repro.costmodel.model import RandomCostModel, ScheduleCostModel
+from repro.hardware.simulator import LatencySimulator
+from repro.tensor.factors import product
+from repro.tensor.sampler import sample_initial_schedules
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import gemm
+
+
+@pytest.fixture
+def big_sketch():
+    return generate_sketches(gemm(256, 256, 256))[0]
+
+
+@pytest.fixture
+def trained_cost_model(big_sketch, cpu, rng):
+    model = ScheduleCostModel(min_samples=16, retrain_interval=8, seed=0)
+    sim = LatencySimulator(cpu)
+    schedules = sample_initial_schedules(big_sketch, 64, rng)
+    model.update(schedules, [sim.throughput(s) for s in schedules])
+    return model
+
+
+class TestSearch:
+    def test_returns_sorted_unique_candidates(self, big_sketch, trained_cost_model, rng):
+        search = EvolutionarySearch(trained_cost_model, population_size=16, generations=2, rng=rng)
+        candidates = search.search(big_sketch)
+        scores = [score for _s, score in candidates]
+        assert scores == sorted(scores, reverse=True)
+        signatures = {s.signature() for s, _score in candidates}
+        assert len(signatures) == len(candidates)
+
+    def test_all_candidates_are_valid_schedules(self, big_sketch, trained_cost_model, rng):
+        search = EvolutionarySearch(trained_cost_model, population_size=16, generations=3, rng=rng)
+        for schedule, _score in search.search(big_sketch):
+            for sizes, (_n, _k, extent, _l) in zip(schedule.tile_sizes, big_sketch.tiled_iters):
+                assert product(sizes) == extent
+
+    def test_visited_counter(self, big_sketch, trained_cost_model, rng):
+        search = EvolutionarySearch(trained_cost_model, population_size=10, generations=3, rng=rng)
+        search.search(big_sketch)
+        assert search.visited == 10 * 4  # generations + final scoring pass
+
+    def test_search_finds_better_candidates_than_random_with_trained_model(
+        self, big_sketch, trained_cost_model, cpu, rng
+    ):
+        """With a trained cost model, evolution should beat pure random sampling."""
+        sim = LatencySimulator(cpu)
+        search = EvolutionarySearch(trained_cost_model, population_size=64, generations=4, rng=rng)
+        evolved = search.search(big_sketch)[:8]
+        evolved_best = min(sim.latency(s) for s, _ in evolved)
+        random_best = min(
+            sim.latency(s) for s in sample_initial_schedules(big_sketch, 8, np.random.default_rng(123))
+        )
+        assert evolved_best < random_best * 1.3  # at least competitive, usually better
+
+    def test_warm_start_schedules_survive_into_history(self, big_sketch, trained_cost_model, rng):
+        warm = sample_initial_schedules(big_sketch, 2, rng)
+        search = EvolutionarySearch(trained_cost_model, population_size=8, generations=1, rng=rng)
+        candidates = search.search(big_sketch, warm_start=warm)
+        signatures = {s.signature() for s, _ in candidates}
+        assert warm[0].signature() in signatures
+
+    def test_crossover_preserves_validity(self, big_sketch, rng):
+        search = EvolutionarySearch(RandomCostModel(), rng=rng)
+        parents = sample_initial_schedules(big_sketch, 2, rng)
+        child = search._crossover(parents[0], parents[1])
+        for sizes, (_n, _k, extent, _l) in zip(child.tile_sizes, big_sketch.tiled_iters):
+            assert product(sizes) == extent
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EvolutionarySearch(RandomCostModel(), population_size=1)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(RandomCostModel(), generations=0)

@@ -1,0 +1,74 @@
+"""Unit tests for the greedy gradient task scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.task_scheduler import GradientTaskScheduler
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import gemm, softmax
+
+
+@pytest.fixture
+def network():
+    return NetworkGraph(
+        name="toy",
+        subgraphs=[
+            Subgraph("heavy", gemm(256, 256, 256, name="ts_heavy"), weight=10, similarity_group="gemm"),
+            Subgraph("light", gemm(64, 64, 64, name="ts_light"), weight=1, similarity_group="gemm"),
+            Subgraph("soft", softmax(128, 64, name="ts_soft"), weight=2, similarity_group="softmax"),
+        ],
+    )
+
+
+class TestGradientTaskScheduler:
+    def test_warmup_visits_every_task_once(self, network):
+        ts = GradientTaskScheduler(network)
+        first_three = []
+        for latency in (1.0, 2.0, 3.0):
+            task = ts.next_task()
+            first_three.append(task)
+            ts.record(task, latency, trials=4)
+        assert set(first_three) == {"heavy", "light", "soft"}
+
+    def test_greedy_prefers_heavy_task_after_warmup(self, network):
+        ts = GradientTaskScheduler(network)
+        # Warm up with comparable per-instance latencies.
+        for task, latency in (("heavy", 1.0), ("light", 1.0), ("soft", 1.0)):
+            ts.record(task, latency, trials=4)
+        # The heavy task has 10x weight, so the expected benefit is largest there.
+        assert ts.next_task() == "heavy"
+
+    def test_allocations_accumulate(self, network):
+        ts = GradientTaskScheduler(network)
+        ts.record("heavy", 1.0, trials=8)
+        ts.record("heavy", 0.9, trials=8)
+        assert ts.allocations["heavy"] == 16
+
+    def test_estimated_latency(self, network):
+        ts = GradientTaskScheduler(network)
+        assert ts.estimated_latency() == float("inf")
+        ts.record("heavy", 1.0)
+        ts.record("light", 2.0)
+        ts.record("soft", 3.0)
+        assert ts.estimated_latency() == pytest.approx(10 * 1.0 + 1 * 2.0 + 2 * 3.0)
+
+    def test_rewards_shape(self, network):
+        ts = GradientTaskScheduler(network)
+        rewards = ts.rewards()
+        assert rewards.shape == (3,)
+        assert np.allclose(rewards, 1.0)  # all untuned
+
+    def test_record_unknown_task_rejected(self, network):
+        ts = GradientTaskScheduler(network)
+        with pytest.raises(KeyError):
+            ts.record("ghost", 1.0)
+
+    def test_greedy_selection_is_deterministic(self, network):
+        """Greedy allocation has no exploration: with unchanged state it keeps
+        returning the same task — the behaviour Observation 1 (Fig. 1a)
+        criticises and the MAB replaces."""
+        ts = GradientTaskScheduler(network)
+        for task in ("heavy", "light", "soft"):
+            ts.record(task, 1.0, trials=4)
+        first = ts.next_task()
+        assert all(ts.next_task() == first for _ in range(10))

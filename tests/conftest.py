@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+All tuning-related fixtures use deliberately tiny configurations (a handful of
+schedule tracks, small windows, few measured candidates) so the whole suite
+runs in well under a minute while still exercising the real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HARLConfig
+from repro.hardware.measurer import Measurer
+from repro.hardware.target import cpu_target, gpu_target
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import conv2d, gemm, softmax
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_config():
+    """A very small HARL configuration for fast unit tests."""
+    return HARLConfig(
+        window_size=4,
+        elimination_ratio=0.5,
+        min_tracks=2,
+        num_tracks=8,
+        episode_length=8,
+        measures_per_round=4,
+        minibatch_size=32,
+        replay_capacity=512,
+        ucb_window=16,
+    )
+
+
+@pytest.fixture
+def cpu():
+    return cpu_target()
+
+
+@pytest.fixture
+def gpu():
+    return gpu_target()
+
+
+@pytest.fixture
+def gemm_dag():
+    return gemm(128, 128, 128)
+
+
+@pytest.fixture
+def conv_dag():
+    return conv2d(14, 14, 32, 32, 3, 1, 1)
+
+
+@pytest.fixture
+def softmax_dag():
+    return softmax(256, 128)
+
+
+@pytest.fixture
+def gemm_sketch(gemm_dag):
+    return generate_sketches(gemm_dag)[0]
+
+
+@pytest.fixture
+def measurer(cpu):
+    return Measurer(cpu, seed=0)

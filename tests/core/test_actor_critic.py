@@ -1,0 +1,129 @@
+"""Unit tests for the PPO agent."""
+
+import numpy as np
+import pytest
+
+from repro.core.actor_critic import PPOAgent
+from repro.core.config import HARLConfig
+
+
+@pytest.fixture
+def agent(tiny_config):
+    return PPOAgent(feature_size=8, head_sizes=(10, 3, 3, 3), config=tiny_config, seed=0)
+
+
+def _states(n, rng, size=8):
+    return rng.normal(size=(n, size))
+
+
+class TestActing:
+    def test_act_shapes(self, agent, rng):
+        batch = agent.act(_states(6, rng))
+        assert batch.actions.shape == (6, 4)
+        assert batch.log_probs.shape == (6,)
+        assert batch.values.shape == (6,)
+
+    def test_actions_within_head_bounds(self, agent, rng):
+        batch = agent.act(_states(64, rng))
+        for head, size in enumerate(agent.head_sizes):
+            assert batch.actions[:, head].min() >= 0
+            assert batch.actions[:, head].max() < size
+
+    def test_log_probs_nonpositive(self, agent, rng):
+        batch = agent.act(_states(16, rng))
+        assert np.all(batch.log_probs <= 0)
+
+    def test_greedy_act_is_deterministic(self, agent, rng):
+        states = _states(5, rng)
+        a = agent.act(states, greedy=True).actions
+        b = agent.act(states, greedy=True).actions
+        assert np.array_equal(a, b)
+
+    def test_stochastic_act_explores(self, agent, rng):
+        states = np.zeros((200, 8))
+        actions = agent.act(states).actions
+        # A fresh (near-uniform) policy should not always pick the same tiling action.
+        assert len(np.unique(actions[:, 0])) > 1
+
+    def test_policy_distributions_normalised(self, agent, rng):
+        dists = agent.policy_distributions(_states(4, rng))
+        assert len(dists) == 4
+        for dist in dists:
+            assert np.allclose(dist.sum(axis=1), 1.0)
+
+    def test_value_shape(self, agent, rng):
+        assert agent.value(_states(9, rng)).shape == (9,)
+
+
+class TestAdvantage:
+    def test_td_target_formula(self, agent):
+        rewards = np.array([1.0, 0.0])
+        values = np.array([0.5, 0.5])
+        next_values = np.array([1.0, 2.0])
+        td, adv = agent.compute_advantage(rewards, values, next_values)
+        gamma = agent.config.discount
+        assert td == pytest.approx(rewards + gamma * next_values)
+        assert adv == pytest.approx(td - values)
+
+
+class TestLearning:
+    def test_update_on_empty_buffer_is_safe(self, agent):
+        stats = agent.update()
+        assert stats["actor_loss"] == 0.0
+
+    def test_update_returns_finite_losses(self, agent, rng):
+        states = _states(32, rng)
+        batch = agent.act(states)
+        rewards = rng.normal(size=32)
+        next_values = agent.value(states)
+        td, adv = agent.compute_advantage(rewards, batch.values, next_values)
+        agent.store(states, batch.actions, batch.log_probs, rewards, td, adv)
+        stats = agent.update()
+        assert np.isfinite(stats["actor_loss"])
+        assert np.isfinite(stats["critic_loss"])
+        assert stats["entropy"] > 0
+
+    def test_policy_shifts_toward_rewarded_action(self, tiny_config):
+        """Repeatedly rewarding one action index increases its probability."""
+        config = tiny_config.replace(entropy_weight=0.0, actor_lr=3e-3, ppo_epochs=8)
+        agent = PPOAgent(feature_size=4, head_sizes=(6, 3, 3, 3), config=config, seed=1)
+        rng = np.random.default_rng(0)
+        states = np.zeros((64, 4))
+        target_action = 2
+
+        initial_prob = agent.policy_distributions(states[:1])[0][0, target_action]
+        for _ in range(30):
+            batch = agent.act(states)
+            rewards = (batch.actions[:, 0] == target_action).astype(float)
+            next_values = agent.value(states)
+            td, adv = agent.compute_advantage(rewards, batch.values, next_values)
+            agent.store(states, batch.actions, batch.log_probs, rewards, td, adv)
+            agent.update()
+        final_prob = agent.policy_distributions(states[:1])[0][0, target_action]
+        assert final_prob > initial_prob + 0.1
+
+    def test_critic_learns_constant_target(self, tiny_config):
+        config = tiny_config.replace(critic_lr=5e-3, ppo_epochs=8)
+        agent = PPOAgent(feature_size=4, head_sizes=(4, 3, 3, 3), config=config, seed=2)
+        rng = np.random.default_rng(1)
+        states = rng.normal(size=(64, 4))
+        for _ in range(40):
+            batch = agent.act(states)
+            rewards = np.ones(64)
+            td_targets = np.full(64, 5.0)
+            advantages = td_targets - batch.values
+            agent.store(states, batch.actions, batch.log_probs, rewards, td_targets, advantages)
+            agent.update()
+        values = agent.value(states)
+        assert np.mean(np.abs(values - 5.0)) < 1.5
+
+    def test_parameters_change_after_update(self, agent, rng):
+        before = [p.copy() for p in agent.actor.parameters()]
+        states = _states(32, rng)
+        batch = agent.act(states)
+        rewards = rng.normal(size=32)
+        td, adv = agent.compute_advantage(rewards, batch.values, agent.value(states))
+        agent.store(states, batch.actions, batch.log_probs, rewards, td, adv)
+        agent.update()
+        after = agent.actor.parameters()
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))

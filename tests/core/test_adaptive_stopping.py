@@ -1,0 +1,84 @@
+"""Unit tests for the adaptive-stopping module."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_stopping import AdaptiveStopper, FixedLengthStopper
+
+
+class TestAdaptiveStopper:
+    def test_elimination_steps_are_window_multiples(self):
+        stopper = AdaptiveStopper(window_size=5, elimination_ratio=0.5, min_tracks=2)
+        assert not stopper.is_elimination_step(0)
+        assert not stopper.is_elimination_step(4)
+        assert stopper.is_elimination_step(5)
+        assert stopper.is_elimination_step(10)
+
+    def test_should_continue_threshold(self):
+        stopper = AdaptiveStopper(window_size=5, elimination_ratio=0.5, min_tracks=4)
+        assert stopper.should_continue(step=7, num_live=4)
+        assert not stopper.should_continue(step=7, num_live=3)
+
+    def test_survivors_drop_lowest_advantages(self):
+        stopper = AdaptiveStopper(window_size=5, elimination_ratio=0.5, min_tracks=1)
+        advantages = [0.9, -1.0, 0.5, -0.5]
+        survivors = stopper.select_survivors(advantages)
+        assert survivors == [0, 2]
+
+    def test_elimination_count_uses_floor(self):
+        stopper = AdaptiveStopper(window_size=5, elimination_ratio=0.5, min_tracks=1)
+        survivors = stopper.select_survivors([3.0, 2.0, 1.0])  # floor(0.5*3)=1 eliminated
+        assert survivors == [0, 1]
+
+    def test_small_population_not_eliminated_when_floor_zero(self):
+        stopper = AdaptiveStopper(window_size=5, elimination_ratio=0.4, min_tracks=1)
+        assert stopper.select_survivors([1.0, 2.0]) == [0, 1]
+
+    def test_empty_advantages(self):
+        stopper = AdaptiveStopper()
+        assert stopper.select_survivors([]) == []
+
+    def test_expected_total_steps_shrinks_geometrically(self):
+        stopper = AdaptiveStopper(window_size=10, elimination_ratio=0.5, min_tracks=2)
+        # 8 tracks: 8*10 + 4*10 + 2*10 = 140
+        assert stopper.expected_total_steps(8) == 140
+
+    def test_paper_matching_example(self):
+        """The Fig. 4 example: lambda = L/2 and rho = 0.5 matches the fixed-length budget."""
+        fixed = FixedLengthStopper(episode_length=4)
+        adaptive = AdaptiveStopper(window_size=2, elimination_ratio=0.5, min_tracks=2)
+        # Fixed: 6 tracks x 4 steps = 24 visits.
+        # Adaptive: 6 tracks x 2 + 3 x 2 + 2 x 2 = 22 visits before dropping below
+        # the minimum — a comparable number of candidates, as the paper argues.
+        assert fixed.expected_total_steps(6) == 24
+        assert adaptive.expected_total_steps(6) == 22
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveStopper(window_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveStopper(elimination_ratio=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveStopper(min_tracks=0)
+
+
+class TestFixedLengthStopper:
+    def test_runs_exactly_episode_length_steps(self):
+        stopper = FixedLengthStopper(episode_length=6)
+        assert stopper.should_continue(5, num_live=10)
+        assert not stopper.should_continue(6, num_live=10)
+
+    def test_never_eliminates(self):
+        stopper = FixedLengthStopper(episode_length=6)
+        assert not stopper.is_elimination_step(6)
+        assert stopper.select_survivors([1.0, -5.0, 0.0]) == [0, 1, 2]
+
+    def test_expected_total_steps(self):
+        assert FixedLengthStopper(episode_length=5).expected_total_steps(7) == 35
+
+    def test_requires_live_tracks(self):
+        assert not FixedLengthStopper(episode_length=5).should_continue(1, num_live=0)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLengthStopper(episode_length=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the Sliding-Window UCB bandit."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandit import SlidingWindowUCB
+
+
+class TestBasics:
+    def test_unplayed_arms_have_infinite_score(self):
+        mab = SlidingWindowUCB(3)
+        assert np.all(np.isinf(mab.ucb_scores()))
+
+    def test_every_arm_explored_first(self):
+        mab = SlidingWindowUCB(4, rng=np.random.default_rng(0))
+        seen = set()
+        for _ in range(4):
+            arm = mab.select()
+            seen.add(arm)
+            mab.update(arm, 0.5)
+        assert seen == {0, 1, 2, 3}
+
+    def test_counts_and_values(self):
+        mab = SlidingWindowUCB(2, window=10)
+        mab.update(0, 1.0)
+        mab.update(0, 0.0)
+        mab.update(1, 0.5)
+        assert mab.counts().tolist() == [2, 1]
+        assert mab.values()[0] == pytest.approx(0.5)
+        assert mab.values()[1] == pytest.approx(0.5)
+
+    def test_total_plays_never_forgets(self):
+        mab = SlidingWindowUCB(2, window=2)
+        for _ in range(5):
+            mab.update(0, 1.0)
+        assert mab.total_plays()[0] == 5
+        assert mab.counts()[0] == 2  # the window forgot the older plays
+
+    def test_update_out_of_range_rejected(self):
+        mab = SlidingWindowUCB(2)
+        with pytest.raises(IndexError):
+            mab.update(5, 1.0)
+
+    def test_nonfinite_reward_treated_as_zero(self):
+        mab = SlidingWindowUCB(1)
+        mab.update(0, float("nan"))
+        assert mab.values()[0] == 0.0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowUCB(0)
+        with pytest.raises(ValueError):
+            SlidingWindowUCB(2, window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowUCB(2, exploration=-1.0)
+
+
+class TestLearningBehaviour:
+    def test_converges_to_best_arm_in_stationary_setting(self):
+        rng = np.random.default_rng(0)
+        means = [0.2, 0.8, 0.5]
+        mab = SlidingWindowUCB(3, exploration=0.25, window=256, rng=rng)
+        plays = np.zeros(3, dtype=int)
+        for _ in range(300):
+            arm = mab.select()
+            reward = float(np.clip(rng.normal(means[arm], 0.05), 0, 1))
+            mab.update(arm, reward)
+            plays[arm] += 1
+        assert plays[1] > plays[0] and plays[1] > plays[2]
+        assert plays[1] > 150
+
+    def test_adapts_to_nonstationary_rewards(self):
+        """After the best arm flips, the sliding window lets the bandit switch."""
+        rng = np.random.default_rng(1)
+        mab = SlidingWindowUCB(2, exploration=0.25, window=64, rng=rng)
+        for _ in range(200):
+            arm = mab.select()
+            reward = 0.9 if arm == 0 else 0.1
+            mab.update(arm, reward)
+        late_plays = np.zeros(2, dtype=int)
+        for _ in range(300):
+            arm = mab.select()
+            reward = 0.1 if arm == 0 else 0.9  # the reward distribution flipped
+            mab.update(arm, reward)
+            late_plays[arm] += 1
+        assert late_plays[1] > late_plays[0]
+
+    def test_exploration_constant_zero_is_greedy(self):
+        mab = SlidingWindowUCB(2, exploration=0.0, window=16, rng=np.random.default_rng(0))
+        mab.update(0, 1.0)
+        mab.update(1, 0.2)
+        assert all(mab.select() == 0 for _ in range(10))
+
+    def test_exploration_bonus_favours_rarely_played_arm(self):
+        mab = SlidingWindowUCB(2, exploration=5.0, window=64, rng=np.random.default_rng(0))
+        for _ in range(20):
+            mab.update(0, 0.6)
+        mab.update(1, 0.5)
+        # With a huge exploration constant the rarely-played arm wins.
+        assert mab.select() == 1
+
+    def test_play_helper(self):
+        mab = SlidingWindowUCB(2, rng=np.random.default_rng(0))
+        arm, reward = mab.play(lambda a: 0.25)
+        assert reward == 0.25
+        assert mab.t == 1
+        assert mab.total_plays()[arm] == 1

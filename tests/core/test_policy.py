@@ -1,0 +1,133 @@
+"""Unit tests for the NumPy MLP and Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Adam, MultiHeadMLP, log_softmax, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(6, 5))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs > 0)
+
+    def test_stability_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(0.5)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(1).normal(size=(4, 7))
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestMultiHeadMLP:
+    def test_forward_shapes(self):
+        net = MultiHeadMLP(10, (16, 16), (5, 3), rng=np.random.default_rng(0))
+        outputs, _ = net.forward(np.zeros((7, 10)))
+        assert outputs[0].shape == (7, 5)
+        assert outputs[1].shape == (7, 3)
+
+    def test_forward_accepts_single_vector(self):
+        net = MultiHeadMLP(4, (8,), (2,), rng=np.random.default_rng(0))
+        outputs, _ = net.forward(np.zeros(4))
+        assert outputs[0].shape == (1, 2)
+
+    def test_parameters_roundtrip(self):
+        net = MultiHeadMLP(4, (8, 8), (2, 3), rng=np.random.default_rng(0))
+        params = [p.copy() for p in net.parameters()]
+        net.set_parameters(params)
+        outputs_a, _ = net.forward(np.ones((2, 4)))
+        net2 = MultiHeadMLP(4, (8, 8), (2, 3), rng=np.random.default_rng(1))
+        net2.set_parameters(params)
+        outputs_b, _ = net2.forward(np.ones((2, 4)))
+        assert np.allclose(outputs_a[0], outputs_b[0])
+
+    def test_set_parameters_length_checked(self):
+        net = MultiHeadMLP(4, (8,), (2,), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            net.set_parameters(net.parameters()[:-1])
+
+    def test_requires_at_least_one_head(self):
+        with pytest.raises(ValueError):
+            MultiHeadMLP(4, (8,), ())
+
+    def test_backward_gradient_matches_finite_differences(self):
+        """The analytic gradient of a scalar loss matches numeric differentiation."""
+        rng = np.random.default_rng(3)
+        net = MultiHeadMLP(5, (6,), (4,), rng=rng)
+        x = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 4))
+
+        def loss_value():
+            out, _ = net.forward(x)
+            return 0.5 * float(np.sum((out[0] - target) ** 2))
+
+        out, cache = net.forward(x)
+        grads = net.backward(cache, [out[0] - target])
+
+        params = net.parameters()
+        eps = 1e-6
+        # Check a handful of coordinates across different parameter tensors.
+        for p_idx in (0, 1, 2, 3):
+            flat = params[p_idx].reshape(-1)
+            for coord in (0, flat.size // 2):
+                original = flat[coord]
+                flat[coord] = original + eps
+                plus = loss_value()
+                flat[coord] = original - eps
+                minus = loss_value()
+                flat[coord] = original
+                numeric = (plus - minus) / (2 * eps)
+                analytic = grads[p_idx].reshape(-1)[coord]
+                assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_backward_requires_one_grad_per_head(self):
+        net = MultiHeadMLP(4, (8,), (2, 3), rng=np.random.default_rng(0))
+        out, cache = net.forward(np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            net.backward(cache, [np.zeros((1, 2))])
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        rng = np.random.default_rng(0)
+        param = rng.normal(size=(4,))
+        target = np.array([1.0, -2.0, 0.5, 3.0])
+        opt = Adam([param], lr=0.05)
+        for _ in range(500):
+            grad = 2 * (param - target)
+            opt.step([grad])
+        assert np.allclose(param, target, atol=1e-2)
+
+    def test_gradient_clipping(self):
+        param = np.zeros(3)
+        opt = Adam([param], lr=0.1, max_grad_norm=1.0)
+        opt.step([np.full(3, 1e6)])
+        # The clipped step is bounded by the learning rate scale.
+        assert np.all(np.abs(param) < 1.0)
+
+    def test_mismatched_grads_rejected(self):
+        opt = Adam([np.zeros(2)], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+    def test_mlp_trains_on_regression_task(self):
+        rng = np.random.default_rng(5)
+        net = MultiHeadMLP(3, (16,), (1,), rng=rng)
+        opt = Adam(net.parameters(), lr=1e-2)
+        X = rng.normal(size=(64, 3))
+        y = (X[:, :1] * 2.0 - X[:, 1:2]) * 0.5
+
+        def mse():
+            out, _ = net.forward(X)
+            return float(np.mean((out[0] - y) ** 2))
+
+        initial = mse()
+        for _ in range(300):
+            out, cache = net.forward(X)
+            grad = 2 * (out[0] - y) / len(X)
+            opt.step(net.backward(cache, [grad]))
+        assert mse() < 0.2 * initial

@@ -1,0 +1,105 @@
+"""Unit tests for the subgraph-selection reward (Eq. 3 / 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.subgraph_reward import SubgraphState, normalized_rewards, subgraph_reward
+
+
+def _state(name, weight=1.0, flops=1e9, group="gemm", latencies=()):
+    state = SubgraphState(name=name, weight=weight, flops=flops, similarity_group=group)
+    for latency in latencies:
+        state.record(latency)
+    return state
+
+
+class TestSubgraphState:
+    def test_record_keeps_best_so_far(self):
+        state = _state("a", latencies=[2.0, 3.0, 1.0])
+        assert state.latencies == [2.0, 2.0, 1.0]
+        assert state.best_latency == 1.0
+        assert state.rounds == 3
+
+    def test_empty_state(self):
+        state = _state("a")
+        assert state.best_latency == float("inf")
+        assert state.rounds == 0
+
+
+class TestSubgraphReward:
+    def test_untuned_subgraph_gets_infinite_reward(self):
+        states = [_state("a"), _state("b", latencies=[1.0])]
+        assert subgraph_reward(states[0], states) == float("inf")
+
+    def test_recent_improvement_raises_reward(self):
+        """With alpha = 1 the reward is purely the recent improvement rate."""
+        improving = _state("a", latencies=[1.0, 0.6, 0.4])
+        stagnant = _state("b", latencies=[1.0, 1.0, 1.0])
+        states = [improving, stagnant]
+        assert subgraph_reward(improving, states, alpha=1.0) > subgraph_reward(
+            stagnant, states, alpha=1.0
+        )
+
+    def test_headroom_dominates_with_default_alpha(self):
+        """With the paper's alpha = 0.2 the head-room term dominates: a slow,
+        stagnant subgraph whose similar peer achieves much higher throughput
+        still deserves tuning trials."""
+        improving = _state("a", latencies=[1.0, 0.6, 0.4])
+        stagnant = _state("b", latencies=[1.0, 1.0, 1.0])
+        states = [improving, stagnant]
+        assert subgraph_reward(stagnant, states) > subgraph_reward(improving, states)
+
+    def test_weight_scales_reward(self):
+        light = _state("a", weight=1, latencies=[1.0, 0.8])
+        heavy = _state("b", weight=10, latencies=[1.0, 0.8])
+        states = [light, heavy]
+        assert subgraph_reward(heavy, states) > 5 * subgraph_reward(light, states)
+
+    def test_similarity_headroom(self):
+        """A subgraph far from the throughput of a similar subgraph gets head-room."""
+        slow = _state("slow", flops=1e9, latencies=[1.0] * 8)      # 1 GFLOP/s
+        fast = _state("fast", flops=1e9, latencies=[0.01] * 8)     # 100 GFLOP/s
+        other_group = _state("other", flops=1e9, group="conv", latencies=[1.0] * 8)
+        states = [slow, fast, other_group]
+        with_similar = subgraph_reward(slow, states)
+        without_similar = subgraph_reward(other_group, states)
+        assert with_similar > without_similar
+
+    def test_reward_decays_with_rounds(self):
+        # Distinct similarity groups isolate the g_a / t_a decay bound.
+        fresh = _state("a", group="ga", latencies=[1.0, 1.0])
+        old = _state("b", group="gb", latencies=[1.0] * 40)
+        states = [fresh, old]
+        assert subgraph_reward(fresh, states) > subgraph_reward(old, states)
+
+    def test_alpha_extremes(self):
+        state = _state("a", latencies=[1.0, 0.5, 0.5])
+        states = [state]
+        history_only = subgraph_reward(state, states, alpha=1.0)
+        headroom_only = subgraph_reward(state, states, alpha=0.0)
+        assert history_only >= 0 and headroom_only >= 0
+
+
+class TestNormalizedRewards:
+    def test_range_and_infinite_mapping(self):
+        states = [
+            _state("untuned"),
+            _state("tuned", latencies=[1.0, 0.9]),
+            _state("stale", latencies=[1.0] * 20),
+        ]
+        rewards = normalized_rewards(states)
+        assert rewards.shape == (3,)
+        assert np.all((rewards >= 0.0) & (rewards <= 1.0))
+        assert rewards[0] == 1.0  # untuned -> maximum priority
+
+    def test_all_untuned(self):
+        states = [_state("a"), _state("b")]
+        assert np.allclose(normalized_rewards(states), 1.0)
+
+    def test_best_candidate_gets_highest_reward(self):
+        states = [
+            _state("big_improver", weight=10, latencies=[1.0, 0.5]),
+            _state("small_improver", weight=1, latencies=[1.0, 0.95]),
+        ]
+        rewards = normalized_rewards(states)
+        assert rewards[0] > rewards[1]

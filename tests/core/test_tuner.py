@@ -1,0 +1,78 @@
+"""Unit tests for the tuning-result containers."""
+
+import pytest
+
+from repro.core.tuner import NetworkTuningResult, TuningResult
+
+
+def _result(history, scheduler="x", trials=None):
+    best = history[-1][1] if history else float("inf")
+    return TuningResult(
+        workload="w",
+        scheduler=scheduler,
+        best_latency=best,
+        best_throughput=1.0 / best if best not in (0, float("inf")) else 0.0,
+        best_schedule=None,
+        trials_used=trials if trials is not None else (history[-1][0] if history else 0),
+        search_steps=100,
+        history=list(history),
+    )
+
+
+class TestTuningResult:
+    def test_trials_to_reach_finds_first_crossing(self):
+        result = _result([(1, 10.0), (5, 4.0), (9, 2.0)])
+        assert result.trials_to_reach(5.0) == 5
+        assert result.trials_to_reach(10.0) == 1
+        assert result.trials_to_reach(2.0) == 9
+
+    def test_trials_to_reach_unreachable(self):
+        result = _result([(1, 10.0), (5, 4.0)])
+        assert result.trials_to_reach(1.0) is None
+
+    def test_best_latency_at(self):
+        result = _result([(1, 10.0), (5, 4.0), (9, 2.0)])
+        assert result.best_latency_at(0) == float("inf")
+        assert result.best_latency_at(5) == 4.0
+        assert result.best_latency_at(100) == 2.0
+
+
+class TestNetworkTuningResult:
+    def _network_result(self):
+        task_results = {
+            "a": _result([(1, 2.0)], trials=10),
+            "b": _result([(1, 1.0)], trials=20),
+        }
+        return NetworkTuningResult(
+            network="net",
+            scheduler="x",
+            task_results=task_results,
+            task_weights={"a": 2.0, "b": 1.0},
+            latency_history=[(10, 8.0), (30, 5.0)],
+            allocations={"a": 10, "b": 20},
+        )
+
+    def test_best_latency_and_trials(self):
+        result = self._network_result()
+        assert result.best_latency == 5.0
+        assert result.trials_used == 30
+
+    def test_trials_to_reach(self):
+        result = self._network_result()
+        assert result.trials_to_reach(8.0) == 10
+        assert result.trials_to_reach(5.0) == 30
+        assert result.trials_to_reach(1.0) is None
+
+    def test_task_contributions_sum_to_one(self):
+        result = self._network_result()
+        contributions = result.task_contributions()
+        assert sum(contributions.values()) == pytest.approx(1.0)
+        # a contributes 2*2=4, b contributes 1*1=1.
+        assert contributions["a"] == pytest.approx(0.8)
+
+    def test_empty_history(self):
+        result = NetworkTuningResult(
+            network="net", scheduler="x", task_results={}, task_weights={}
+        )
+        assert result.best_latency == float("inf")
+        assert result.trials_used == 0

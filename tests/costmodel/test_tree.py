@@ -1,0 +1,83 @@
+"""Unit tests for the regression tree weak learner."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.tree import RegressionTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFitPredict:
+    def test_constant_target(self, rng):
+        X = rng.random((20, 3))
+        y = np.full(20, 7.0)
+        pred = RegressionTree(max_depth=3).fit(X, y).predict(X)
+        assert np.allclose(pred, 7.0)
+
+    def test_single_split_step_function(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        pred = RegressionTree(max_depth=1, min_samples_leaf=1).fit(X, y).predict(X)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_deep_tree_fits_piecewise_target(self, rng):
+        X = rng.random((200, 2))
+        y = np.where(X[:, 0] > 0.5, 3.0, -1.0) + np.where(X[:, 1] > 0.3, 0.5, 0.0)
+        pred = RegressionTree(max_depth=6, min_samples_leaf=2).fit(X, y).predict(X)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_prediction_within_target_range(self, rng):
+        X = rng.random((100, 4))
+        y = rng.normal(size=100)
+        pred = RegressionTree(max_depth=4).fit(X, y).predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.random((10, 1))
+        y = rng.random(10)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=5).fit(X, y)
+        # With a leaf minimum of 5 and 10 samples, at most one split can happen,
+        # so there are at most 2 distinct predictions.
+        assert len(np.unique(np.round(tree.predict(X), 12))) <= 2
+
+    def test_duplicate_feature_values_handled(self):
+        X = np.zeros((30, 2))
+        y = np.arange(30, dtype=float)
+        pred = RegressionTree(max_depth=3).fit(X, y).predict(X)
+        assert np.allclose(pred, np.mean(y))
+
+    def test_max_features_subsampling(self, rng):
+        X = rng.random((50, 8))
+        y = X[:, 0] * 2.0
+        tree = RegressionTree(max_depth=4, max_features=2, rng=rng)
+        pred = tree.fit(X, y).predict(X)
+        assert np.all(np.isfinite(pred))
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(rng.random((5, 2)), rng.random(4))
+
+    def test_one_dimensional_x_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(rng.random(5), rng.random(5))
+
+    def test_bad_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)

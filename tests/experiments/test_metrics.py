@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.core.tuner import TuningResult
+from repro.experiments.metrics import normalized_performance, normalized_search_time, speedup
+
+
+def _result(best, history, trials, scheduler="x"):
+    return TuningResult(
+        workload="w",
+        scheduler=scheduler,
+        best_latency=best,
+        best_throughput=1.0 / best if best else 0.0,
+        best_schedule=None,
+        trials_used=trials,
+        search_steps=0,
+        history=history,
+    )
+
+
+class TestSpeedup:
+    def test_faster_candidate(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_slower_candidate(self):
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_degenerate_candidate(self):
+        assert speedup(1.0, 0.0) == 0.0
+        assert speedup(1.0, float("inf")) == 0.0
+
+
+class TestNormalizedPerformance:
+    def test_best_scheduler_is_one(self):
+        results = {"a": _result(2.0, [], 10), "b": _result(1.0, [], 10)}
+        norm = normalized_performance(results)
+        assert norm["b"] == pytest.approx(1.0)
+        assert norm["a"] == pytest.approx(0.5)
+
+    def test_infinite_latency_scores_zero(self):
+        results = {"a": _result(float("inf"), [], 10), "b": _result(1.0, [], 10)}
+        assert normalized_performance(results)["a"] == 0.0
+
+    def test_all_infinite(self):
+        results = {"a": _result(float("inf"), [], 10)}
+        assert normalized_performance(results) == {"a": 0.0}
+
+
+class TestNormalizedSearchTime:
+    def test_faster_searcher_scores_lower(self):
+        # Baseline reaches its best (2.0) at trial 100; the candidate reaches 2.0 at trial 20.
+        results = {
+            "ansor": _result(2.0, [(10, 5.0), (100, 2.0)], 100),
+            "harl": _result(1.5, [(20, 2.0), (80, 1.5)], 100),
+        }
+        norm = normalized_search_time(results)
+        assert norm["ansor"] == pytest.approx(1.0)
+        assert norm["harl"] == pytest.approx(0.2)
+
+    def test_unreached_target_charges_full_budget(self):
+        results = {
+            "ansor": _result(1.0, [(50, 1.0)], 100),
+            "slow": _result(3.0, [(100, 3.0)], 120),
+        }
+        norm = normalized_search_time(results)
+        assert norm["slow"] == pytest.approx(1.0)
+        assert norm["ansor"] == pytest.approx(50 / 120)
+
+    def test_missing_baseline_rejected(self):
+        results = {"harl": _result(1.0, [(1, 1.0)], 1)}
+        with pytest.raises(KeyError):
+            normalized_search_time(results, baseline="ansor")

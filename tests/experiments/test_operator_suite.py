@@ -1,0 +1,49 @@
+"""Unit tests for the Table 6 operator suite."""
+
+import pytest
+
+from repro.experiments.operator_suite import (
+    OPERATOR_CLASSES,
+    OPERATOR_SUITE,
+    operator_dags,
+    representative_dag,
+)
+
+
+class TestSuiteDefinition:
+    def test_all_seven_classes_present(self):
+        assert set(OPERATOR_CLASSES) == {"GEMM-S", "GEMM-M", "GEMM-L", "C1D", "C2D", "C3D", "T2D"}
+
+    def test_each_class_has_four_configurations(self):
+        for configs in OPERATOR_SUITE.values():
+            assert len(configs) == 4
+
+    def test_table6_reference_shapes(self):
+        assert (1024, 1024, 1024) in OPERATOR_SUITE["GEMM-L"]
+        assert (224, 224, 3, 64, 7, 2, 3) in OPERATOR_SUITE["C2D"]
+        assert (4, 4, 512, 256, 4, 2, 1) in OPERATOR_SUITE["T2D"]
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("op_class", OPERATOR_CLASSES)
+    def test_all_configs_build(self, op_class):
+        dags = operator_dags(op_class, batch=1)
+        assert len(dags) == 4
+        for dag in dags:
+            assert dag.flops > 0
+            assert len(dag.main_stage.spatial_iters) >= 2
+
+    @pytest.mark.parametrize("op_class", OPERATOR_CLASSES)
+    def test_batch16_builds(self, op_class):
+        dag = representative_dag(op_class, batch=16)
+        assert dag.flops > representative_dag(op_class, batch=1).flops
+
+    def test_limit_parameter(self):
+        assert len(operator_dags("C2D", limit=2)) == 2
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            operator_dags("GEMM-XXL")
+
+    def test_gemm_l_is_larger_than_gemm_s(self):
+        assert representative_dag("GEMM-L").flops > representative_dag("GEMM-S").flops

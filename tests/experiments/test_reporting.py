@@ -1,0 +1,41 @@
+"""Unit tests for the text/CSV reporting helpers."""
+
+import csv
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bbb", 2]], title="My table")
+        assert "My table" in text
+        assert "name" in text and "value" in text
+        assert "1.235" in text  # default float format
+        assert "bbb" in text
+
+    def test_alignment_pads_columns(self):
+        text = format_table(["x"], [["longvalue"], ["s"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text and "0.12" not in text
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("Batch=1", {"ansor": 0.8, "harl": 1.0})
+        assert text.startswith("Batch=1:")
+        assert "ansor=0.800" in text and "harl=1.000" in text
+
+
+class TestWriteCsv:
+    def test_writes_rows(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]

@@ -1,0 +1,128 @@
+"""Unit tests for the analytic latency simulator.
+
+These tests pin down the qualitative performance effects the search
+algorithms rely on: vectorisation, parallelisation, cache locality and
+fusion must all move latency in the expected direction, and the model must be
+deterministic for a given schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.simulator import LatencySimulator
+from repro.hardware.target import cpu_target, gpu_target
+from repro.tensor.sampler import sample_initial_schedules, sample_schedule
+from repro.tensor.schedule import Schedule
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import gemm
+
+
+def _schedule(sketch, tiles, ca=0, par=2, unroll=2):
+    return Schedule(sketch, [list(t) for t in tiles], ca, par, unroll)
+
+
+@pytest.fixture
+def sim(cpu):
+    return LatencySimulator(cpu)
+
+
+@pytest.fixture
+def big_sketch():
+    return generate_sketches(gemm(1024, 1024, 1024))[0]
+
+
+class TestBasicProperties:
+    def test_latency_positive_and_finite(self, sim, big_sketch, rng):
+        for schedule in sample_initial_schedules(big_sketch, 32, rng):
+            latency = sim.latency(schedule)
+            assert np.isfinite(latency) and latency > 0
+
+    def test_deterministic(self, sim, big_sketch, rng):
+        schedule = sample_schedule(big_sketch, rng)
+        assert sim.latency(schedule) == sim.latency(schedule.copy())
+
+    def test_throughput_consistent_with_latency(self, sim, big_sketch, rng):
+        schedule = sample_schedule(big_sketch, rng)
+        assert sim.throughput(schedule) == pytest.approx(
+            schedule.dag.flops / sim.latency(schedule)
+        )
+
+    def test_latency_above_roofline(self, sim, big_sketch, rng):
+        """No schedule can beat the machine's peak-FLOPs roofline."""
+        peak_bound = gemm(1024, 1024, 1024).flops / sim.target.peak_flops
+        for schedule in sample_initial_schedules(big_sketch, 16, rng):
+            assert sim.latency(schedule) > 0.5 * peak_bound
+
+    def test_landscape_is_schedule_sensitive(self, sim, big_sketch, rng):
+        latencies = [sim.latency(s) for s in sample_initial_schedules(big_sketch, 64, rng)]
+        assert max(latencies) / min(latencies) > 3.0
+
+    def test_breakdown_fields(self, sim, big_sketch, rng):
+        b = sim.breakdown(sample_schedule(big_sketch, rng))
+        assert b.latency > 0
+        assert b.compute_time > 0
+        assert b.memory_time >= 0
+        assert 0 < b.efficiency <= 1.0
+        assert b.speedup >= 1.0
+        assert set(b.factors) >= {"vector", "cache", "loop", "register", "speedup"}
+
+
+class TestDirectionalEffects:
+    def test_vectorized_innermost_tile_is_faster(self, sim, big_sketch):
+        # j innermost tile 16 (one full AVX-512 vector) vs 2.
+        good = _schedule(big_sketch, [[16, 1, 4, 16], [8, 1, 8, 16], [64, 16]])
+        bad = _schedule(big_sketch, [[16, 1, 4, 16], [64, 1, 8, 2], [64, 16]])
+        assert sim.latency(good) < sim.latency(bad)
+
+    def test_parallel_beats_serial_on_large_gemm(self, sim, big_sketch):
+        tiles = [[32, 2, 4, 4], [32, 2, 4, 4], [64, 16]]
+        parallel = _schedule(big_sketch, tiles, par=2)
+        serial = _schedule(big_sketch, tiles, par=0)
+        assert sim.latency(parallel) < sim.latency(serial) / 4
+
+    def test_oversized_register_tile_penalised(self, sim, big_sketch):
+        modest = _schedule(big_sketch, [[32, 2, 4, 4], [32, 2, 4, 4], [64, 16]])
+        huge = _schedule(big_sketch, [[4, 1, 2, 128], [4, 1, 2, 128], [16, 64]])
+        assert sim.latency(modest) < sim.latency(huge)
+
+    def test_l1_friendly_tiles_beat_thrashing_tiles(self, sim, big_sketch):
+        friendly = _schedule(big_sketch, [[32, 4, 2, 4], [32, 4, 2, 4], [64, 16]])
+        thrashing = _schedule(big_sketch, [[1, 1, 1024, 1], [1, 1, 1024, 1], [1, 1024]])
+        assert sim.latency(friendly) < sim.latency(thrashing)
+
+    def test_fused_sketch_avoids_epilogue(self, rng):
+        dag = gemm(1024, 1024, 1024)
+        sketches = {s.key: s for s in generate_sketches(dag)}
+        sim = LatencySimulator(cpu_target())
+        tiles = [[32, 2, 4, 4], [32, 2, 4, 4], [64, 16]]
+        plain = _schedule(sketches["tiling"], tiles)
+        fused = _schedule(sketches["tiling+fuse"], tiles)
+        plain_b = sim.breakdown(plain)
+        fused_b = sim.breakdown(fused)
+        assert fused_b.epilogue_time == 0.0
+        assert plain_b.epilogue_time > 0.0
+
+    def test_ruggedness_bounded(self, sim, big_sketch, rng):
+        for schedule in sample_initial_schedules(big_sketch, 32, rng):
+            assert 0.85 <= sim.breakdown(schedule).ruggedness <= 1.15
+
+    def test_gpu_needs_more_parallelism(self, big_sketch):
+        gpu_sim = LatencySimulator(gpu_target())
+        tiles = [[256, 1, 2, 2], [256, 1, 2, 2], [64, 16]]
+        wide = _schedule(big_sketch, tiles, par=2)
+        narrow = _schedule(big_sketch, [[2, 1, 2, 256], [2, 1, 2, 256], [64, 16]], par=2)
+        assert gpu_sim.latency(wide) < gpu_sim.latency(narrow)
+
+
+class TestRuggednessSeed:
+    def test_different_seed_changes_landscape(self, big_sketch, rng):
+        schedule = sample_schedule(big_sketch, rng)
+        a = LatencySimulator(cpu_target(), ruggedness_seed=0).latency(schedule)
+        b = LatencySimulator(cpu_target(), ruggedness_seed=1).latency(schedule)
+        assert a != b
+
+    def test_same_seed_is_reproducible(self, big_sketch, rng):
+        schedule = sample_schedule(big_sketch, rng)
+        a = LatencySimulator(cpu_target(), ruggedness_seed=3).latency(schedule)
+        b = LatencySimulator(cpu_target(), ruggedness_seed=3).latency(schedule)
+        assert a == b

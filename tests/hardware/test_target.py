@@ -1,0 +1,64 @@
+"""Unit tests for hardware target presets."""
+
+import pytest
+
+from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+from repro.tensor.schedule import CPU_UNROLL_DEPTHS, GPU_UNROLL_DEPTHS
+
+
+class TestPresets:
+    def test_cpu_preset_matches_paper_platform(self):
+        cpu = cpu_target()
+        assert cpu.kind == "cpu"
+        assert cpu.num_cores == 32            # Xeon 6226R core count
+        assert cpu.vector_width == 16         # AVX-512 fp32 lanes
+
+    def test_gpu_preset(self):
+        gpu = gpu_target()
+        assert gpu.kind == "gpu"
+        assert gpu.num_cores == 82            # RTX 3090 SM count
+        assert gpu.dram_bandwidth > cpu_target().dram_bandwidth
+
+    def test_peak_flops_aggregates_cores(self):
+        cpu = cpu_target()
+        assert cpu.peak_flops == pytest.approx(cpu.num_cores * cpu.peak_flops_per_core)
+
+    def test_unroll_depth_lists(self):
+        assert cpu_target().unroll_depths == CPU_UNROLL_DEPTHS
+        assert gpu_target().unroll_depths == GPU_UNROLL_DEPTHS
+
+    def test_sketch_levels(self):
+        assert cpu_target().sketch_spatial_levels == 4
+        assert cpu_target().sketch_reduction_levels == 2
+        assert gpu_target().sketch_spatial_levels == 5
+        assert gpu_target().sketch_reduction_levels == 3
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        cpu = cpu_target()
+        return dict(
+            name="x",
+            kind="cpu",
+            num_cores=cpu.num_cores,
+            peak_flops_per_core=cpu.peak_flops_per_core,
+            vector_width=cpu.vector_width,
+            l1_bytes=cpu.l1_bytes,
+            l2_bytes=cpu.l2_bytes,
+            l3_bytes=cpu.l3_bytes,
+            dram_bandwidth=cpu.dram_bandwidth,
+            parallel_overhead=cpu.parallel_overhead,
+            kernel_overhead=cpu.kernel_overhead,
+        )
+
+    def test_rejects_unknown_kind(self):
+        kwargs = self._base_kwargs()
+        kwargs["kind"] = "tpu"
+        with pytest.raises(ValueError):
+            HardwareTarget(**kwargs)
+
+    def test_rejects_zero_cores(self):
+        kwargs = self._base_kwargs()
+        kwargs["num_cores"] = 0
+        with pytest.raises(ValueError):
+            HardwareTarget(**kwargs)

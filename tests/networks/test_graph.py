@@ -1,0 +1,64 @@
+"""Unit tests for the network graph container."""
+
+import pytest
+
+from repro.networks.graph import NetworkGraph, Subgraph
+from repro.tensor.workloads import gemm, softmax
+
+
+def _subgraph(name, weight=1.0, m=64):
+    return Subgraph(name=name, dag=gemm(m, 64, 64, name=f"graph_{name}"), weight=weight)
+
+
+class TestSubgraph:
+    def test_total_flops_scales_with_weight(self):
+        sg = _subgraph("a", weight=3)
+        assert sg.total_flops == pytest.approx(3 * sg.dag.flops)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            _subgraph("a", weight=0)
+
+
+class TestNetworkGraph:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkGraph("n", [_subgraph("a"), _subgraph("a", m=128)])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkGraph("n", [])
+
+    def test_lookup_and_iteration(self):
+        net = NetworkGraph("n", [_subgraph("a"), _subgraph("b", m=128)])
+        assert len(net) == 2
+        assert net.subgraph("b").dag.name == "graph_b"
+        assert [sg.name for sg in net] == ["a", "b"]
+        with pytest.raises(KeyError):
+            net.subgraph("c")
+
+    def test_estimated_latency_requires_all_tasks(self):
+        net = NetworkGraph("n", [_subgraph("a", weight=2), _subgraph("b", m=128)])
+        assert net.estimated_latency({"a": 1.0}) == float("inf")
+        assert net.estimated_latency({"a": 1.0, "b": 3.0}) == pytest.approx(2 * 1.0 + 3.0)
+
+    def test_weights_map(self):
+        net = NetworkGraph("n", [_subgraph("a", weight=2), _subgraph("b", weight=5, m=128)])
+        assert net.weights() == {"a": 2, "b": 5}
+
+    def test_top_subgraphs_by_flops(self):
+        net = NetworkGraph(
+            "n",
+            [
+                Subgraph("small", gemm(32, 32, 32, name="graph_small"), weight=1),
+                Subgraph("large", gemm(256, 256, 256, name="graph_large"), weight=1),
+                Subgraph("medium", gemm(128, 128, 128, name="graph_medium"), weight=1),
+            ],
+        )
+        top2 = [sg.name for sg in net.top_subgraphs_by_flops(2)]
+        assert top2 == ["large", "medium"]
+
+    def test_total_flops(self):
+        a, b = _subgraph("a", weight=2), _subgraph("b", weight=1, m=128)
+        net = NetworkGraph("n", [a, b])
+        assert net.total_flops == pytest.approx(a.total_flops + b.total_flops)

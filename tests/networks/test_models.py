@@ -1,0 +1,105 @@
+"""Unit tests for the BERT / ResNet-50 / MobileNet-V2 frontends."""
+
+import pytest
+
+from repro.networks.bert import build_bert
+from repro.networks.mobilenet import build_mobilenet_v2
+from repro.networks.resnet import build_resnet50
+
+
+class TestBert:
+    def test_has_ten_distinct_subgraphs(self):
+        """Matches Section 4.1: BERT has 10 distinct subgraphs."""
+        assert len(build_bert()) == 10
+
+    def test_table4_subgraph_names_present(self):
+        names = {sg.name for sg in build_bert()}
+        expected = {
+            "GEMM-I", "GEMM-II", "GEMM-III", "GEMM-IV", "Softmax",
+            "Batch_GEMM-I", "Batch_GEMM-II", "Element-wise-I", "Element-wise-II", "GEMM+Tanh",
+        }
+        assert names == expected
+
+    def test_total_flops_near_reference(self):
+        """BERT-base at sequence length 128 performs ~22.5 GFLOPs per example."""
+        flops = build_bert(batch_size=1).total_flops
+        assert 15e9 < flops < 30e9
+
+    def test_gemm_subgraphs_dominate_runtime_flops(self):
+        net = build_bert()
+        gemm_flops = sum(sg.total_flops for sg in net if sg.name.startswith("GEMM-"))
+        assert gemm_flops / net.total_flops > 0.8
+
+    def test_batch_gemm_flops_much_smaller_than_gemm(self):
+        """Table 4: the batched GEMMs have orders of magnitude fewer FLOPs."""
+        net = build_bert()
+        gemm_i = net.subgraph("GEMM-I").dag.flops
+        batch_gemm = net.subgraph("Batch_GEMM-I").dag.flops
+        assert batch_gemm < gemm_i / 2
+
+    def test_batch_scales_flops(self):
+        assert build_bert(batch_size=16).total_flops == pytest.approx(
+            16 * build_bert(batch_size=1).total_flops, rel=0.01
+        )
+
+    def test_weights_count_layers(self):
+        net = build_bert(num_layers=12)
+        assert net.subgraph("GEMM-I").weight == 36   # 3 projections x 12 layers
+        assert net.subgraph("GEMM-III").weight == 12
+        assert net.subgraph("GEMM+Tanh").weight == 1
+
+    def test_invalid_head_split_rejected(self):
+        with pytest.raises(ValueError):
+            build_bert(hidden=100, num_heads=7)
+
+
+class TestResNet50:
+    def test_subgraph_count_in_expected_range(self):
+        """The paper quotes ~24 distinct subgraphs for ResNet-50."""
+        assert 18 <= len(build_resnet50()) <= 28
+
+    def test_total_flops_near_reference(self):
+        """ResNet-50 at 224x224 performs ~7.7 GFLOPs per image (with ReLUs)."""
+        flops = build_resnet50().total_flops
+        assert 6e9 < flops < 10e9
+
+    def test_contains_stem_and_fc(self):
+        names = {sg.name for sg in build_resnet50()}
+        assert "conv1_7x7" in names
+        assert "fc" in names
+
+    def test_batch_scales_flops(self):
+        assert build_resnet50(batch_size=16).total_flops == pytest.approx(
+            16 * build_resnet50().total_flops, rel=0.01
+        )
+
+    def test_bottleneck_block_counts(self):
+        net = build_resnet50()
+        assert net.subgraph("stage2_3x3").weight == 3
+        assert net.subgraph("stage4_3x3").weight == 6
+
+
+class TestMobileNetV2:
+    def test_subgraph_count(self):
+        assert 30 <= len(build_mobilenet_v2()) <= 45
+
+    def test_total_flops_near_reference(self):
+        """MobileNet-V2 performs ~0.6 GFLOPs (0.3 GMACs) per image."""
+        flops = build_mobilenet_v2().total_flops
+        assert 0.3e9 < flops < 1.2e9
+
+    def test_depthwise_subgraphs_present(self):
+        net = build_mobilenet_v2()
+        depthwise = [sg for sg in net if sg.similarity_group == "depthwise"]
+        assert len(depthwise) >= 7
+        for sg in depthwise:
+            assert sg.dag.tags["op"] == "depthwise_conv2d"
+
+    def test_head_and_classifier_present(self):
+        names = {sg.name for sg in build_mobilenet_v2()}
+        assert "head_conv" in names and "fc" in names
+
+    def test_unique_dag_names(self):
+        net = build_mobilenet_v2()
+        dag_names = [sg.dag.name for sg in net]
+        assert len(set(dag_names)) == len(dag_names)

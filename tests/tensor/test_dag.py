@@ -1,0 +1,111 @@
+"""Unit tests for the compute DAG representation."""
+
+import pytest
+
+from repro.tensor.dag import ComputeDAG, Iterator, Stage, make_stage
+from repro.tensor.workloads import conv2d, gemm, softmax
+
+
+class TestIterator:
+    def test_spatial_default(self):
+        it = Iterator("i", 16)
+        assert not it.is_reduction
+
+    def test_reduction_kind(self):
+        assert Iterator("k", 8, "reduction").is_reduction
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            Iterator("i", 0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Iterator("i", 4, "banana")
+
+
+class TestStage:
+    def test_iteration_space_and_flops(self):
+        stage = make_stage("mm", [("i", 4), ("j", 8)], [("k", 16)], flops_per_element=2.0)
+        assert stage.iteration_space == 4 * 8 * 16
+        assert stage.flops == 2.0 * 4 * 8 * 16
+
+    def test_output_elements_exclude_reduction(self):
+        stage = make_stage("mm", [("i", 4), ("j", 8)], [("k", 16)])
+        assert stage.output_elements == 32
+
+    def test_spatial_and_reduction_split(self):
+        stage = make_stage("mm", [("i", 4)], [("k", 2), ("l", 3)])
+        assert [it.name for it in stage.spatial_iters] == ["i"]
+        assert [it.name for it in stage.reduction_iters] == ["k", "l"]
+
+
+class TestComputeDAG:
+    def test_gemm_flops(self):
+        dag = gemm(64, 32, 16, bias=False)
+        assert dag.flops == pytest.approx(2.0 * 64 * 32 * 16)
+
+    def test_gemm_with_bias_adds_epilogue_flops(self):
+        base = gemm(64, 32, 16, bias=False).flops
+        with_bias = gemm(64, 32, 16, bias=True).flops
+        assert with_bias == pytest.approx(base + 64 * 16)
+
+    def test_main_stage_lookup(self):
+        dag = gemm(8, 8, 8)
+        assert dag.main_stage.name == "matmul"
+
+    def test_unknown_stage_raises(self):
+        dag = gemm(8, 8, 8)
+        with pytest.raises(KeyError):
+            dag.stage("nope")
+
+    def test_has_data_reuse_for_gemm(self):
+        assert gemm(8, 8, 8).has_data_reuse
+
+    def test_elementwise_consumer_detected(self):
+        assert gemm(8, 8, 8, bias=True).has_fusable_consumer
+        assert not gemm(8, 8, 8, bias=False).has_fusable_consumer
+
+    def test_consumers(self):
+        dag = gemm(8, 8, 8, bias=True)
+        assert [s.name for s in dag.consumers("matmul")] == ["bias_add"]
+
+    def test_compute_at_candidates_contains_root(self):
+        dag = gemm(8, 8, 8)
+        candidates = dag.compute_at_candidates()
+        assert candidates[0] == ("root", -1)
+        assert len(candidates) == 1 + len(dag.main_stage.spatial_iters)
+
+    def test_workload_key_is_stable_and_distinct(self):
+        a = gemm(8, 8, 8)
+        b = gemm(8, 8, 8)
+        c = gemm(16, 8, 8)
+        assert a.workload_key() == b.workload_key()
+        assert a.workload_key() != c.workload_key()
+
+    def test_arithmetic_intensity_positive(self):
+        assert gemm(64, 64, 64).arithmetic_intensity() > 0
+
+    def test_duplicate_stage_names_rejected(self):
+        stage = make_stage("x", [("i", 2)])
+        with pytest.raises(ValueError):
+            ComputeDAG("bad", [stage, stage], "x", 1, 1)
+
+    def test_unknown_main_stage_rejected(self):
+        stage = make_stage("x", [("i", 2)])
+        with pytest.raises(ValueError):
+            ComputeDAG("bad", [stage], "y", 1, 1)
+
+    def test_unknown_producer_rejected(self):
+        stage = make_stage("x", [("i", 2)], producers=("ghost",))
+        with pytest.raises(ValueError):
+            ComputeDAG("bad", [stage], "x", 1, 1)
+
+    def test_conv_dag_reduction_iters(self):
+        dag = conv2d(14, 14, 32, 64, 3, 1, 1)
+        names = [it.name for it in dag.reduction_iters]
+        assert names == ["ci", "kh", "kw"]
+
+    def test_softmax_main_stage_has_no_reduction(self):
+        dag = softmax(64, 32)
+        assert len(dag.reduction_iters) == 0
+        assert not dag.has_data_reuse

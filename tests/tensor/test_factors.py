@@ -1,0 +1,127 @@
+"""Unit tests for tile-size factorisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.factors import (
+    all_factorizations,
+    move_factor,
+    prime_factors,
+    product,
+    random_factorization,
+    smallest_prime_factor,
+)
+
+
+class TestProduct:
+    def test_empty_sequence_is_one(self):
+        assert product([]) == 1
+
+    def test_simple_product(self):
+        assert product([2, 3, 4]) == 24
+
+    def test_accepts_numpy_ints(self):
+        assert product(np.array([2, 5], dtype=np.int64)) == 10
+
+
+class TestPrimeFactors:
+    def test_one_has_no_factors(self):
+        assert prime_factors(1) == ()
+
+    def test_prime_number(self):
+        assert prime_factors(13) == (13,)
+
+    def test_composite(self):
+        assert prime_factors(12) == (2, 2, 3)
+
+    def test_power_of_two(self):
+        assert prime_factors(1024) == (2,) * 10
+
+    def test_large_mixed(self):
+        assert prime_factors(3072) == (2,) * 10 + (3,)
+
+    def test_product_of_factors_recovers_value(self):
+        for n in (2, 6, 36, 97, 224, 768, 1000):
+            assert product(prime_factors(n)) == n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+
+class TestSmallestPrimeFactor:
+    def test_even(self):
+        assert smallest_prime_factor(30) == 2
+
+    def test_odd_composite(self):
+        assert smallest_prime_factor(21) == 3
+
+    def test_prime(self):
+        assert smallest_prime_factor(17) == 17
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            smallest_prime_factor(1)
+
+
+class TestAllFactorizations:
+    def test_single_level(self):
+        assert all_factorizations(12, 1) == [[12]]
+
+    def test_two_levels_cover_divisor_pairs(self):
+        pairs = all_factorizations(6, 2)
+        assert sorted(tuple(p) for p in pairs) == [(1, 6), (2, 3), (3, 2), (6, 1)]
+
+    def test_every_factorization_multiplies_back(self):
+        for fact in all_factorizations(24, 3):
+            assert product(fact) == 24
+
+    def test_limit_caps_enumeration(self):
+        assert len(all_factorizations(1024, 4, limit=10)) == 10
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            all_factorizations(8, 0)
+
+
+class TestRandomFactorization:
+    def test_product_equals_extent(self, rng):
+        for extent in (1, 7, 64, 224, 1024):
+            sizes = random_factorization(extent, 4, rng)
+            assert len(sizes) == 4
+            assert product(sizes) == extent
+
+    def test_extent_one_gives_all_ones(self, rng):
+        assert random_factorization(1, 3, rng) == [1, 1, 1]
+
+    def test_covers_multiple_distinct_factorizations(self, rng):
+        seen = {tuple(random_factorization(64, 4, rng)) for _ in range(200)}
+        assert len(seen) > 5
+
+    def test_single_level_returns_extent(self, rng):
+        assert random_factorization(36, 1, rng) == [36]
+
+
+class TestMoveFactor:
+    def test_moves_smallest_prime(self):
+        assert move_factor([12, 1, 1], 0, 2) == [6, 1, 2]
+
+    def test_source_of_one_is_noop(self):
+        assert move_factor([1, 8], 0, 1) == [1, 8]
+
+    def test_same_slot_is_noop(self):
+        assert move_factor([4, 4], 1, 1) == [4, 4]
+
+    def test_preserves_product(self):
+        sizes = [8, 3, 5]
+        moved = move_factor(sizes, 2, 0)
+        assert product(moved) == product(sizes)
+
+    def test_does_not_mutate_input(self):
+        sizes = [6, 2]
+        move_factor(sizes, 0, 1)
+        assert sizes == [6, 2]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            move_factor([2, 2], 0, 5)

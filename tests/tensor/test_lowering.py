@@ -1,0 +1,90 @@
+"""Unit tests for schedule lowering / pretty-printing."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.factors import product
+from repro.tensor.lowering import loop_structure, lower_schedule
+from repro.tensor.sampler import sample_schedule
+from repro.tensor.schedule import Schedule
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import conv2d, gemm
+
+
+@pytest.fixture
+def schedule(gemm_sketch):
+    tile_sizes = [[8, 1, 4, 4], [4, 2, 1, 16], [16, 8]]
+    return Schedule(gemm_sketch, tile_sizes, compute_at_index=2, num_parallel=2, unroll_index=1)
+
+
+class TestLoopStructure:
+    def test_loop_count_matches_tile_slots(self, schedule):
+        loops = loop_structure(schedule)
+        assert len(loops) == schedule.num_tile_slots
+
+    def test_loop_extents_multiply_to_iteration_space(self, schedule):
+        loops = loop_structure(schedule)
+        total = product([l["extent"] for l in loops])
+        assert total == schedule.dag.main_stage.iteration_space
+
+    def test_outer_loops_are_parallel(self, schedule):
+        loops = loop_structure(schedule)
+        assert loops[0]["annotation"] == "parallel"
+        assert loops[1]["annotation"] == "parallel"
+        assert loops[2]["annotation"] == ""
+
+    def test_innermost_loop_vectorized(self, schedule):
+        loops = loop_structure(schedule)
+        assert loops[-1]["annotation"] == "vectorize"
+        assert loops[-1]["kind"] == "spatial"
+
+    def test_unroll_annotation_present(self, schedule):
+        loops = loop_structure(schedule)
+        assert any("unroll" in l["annotation"] for l in loops)
+
+    def test_random_schedules_structurally_consistent(self, rng):
+        for dag in (gemm(64, 32, 16), conv2d(14, 14, 16, 32, 3, 1, 1)):
+            sketch = generate_sketches(dag)[0]
+            for _ in range(5):
+                s = sample_schedule(sketch, rng)
+                loops = loop_structure(s)
+                assert product([l["extent"] for l in loops]) == dag.main_stage.iteration_space
+
+
+class TestLowerSchedule:
+    def test_contains_workload_and_loops(self, schedule):
+        text = lower_schedule(schedule)
+        assert schedule.dag.name in text
+        assert "for i.0 in range(8):" in text
+        assert "parallel" in text and "vectorize" in text
+
+    def test_fused_sketch_mentions_fused_consumer(self, rng):
+        dag = gemm(64, 64, 64)
+        sketch = next(s for s in generate_sketches(dag) if s.fuse_consumer)
+        text = lower_schedule(sample_schedule(sketch, rng))
+        assert "fused consumer" in text
+
+    def test_cache_write_sketch_mentions_write_back(self, rng):
+        dag = gemm(64, 64, 64, bias=False)
+        sketch = next(s for s in generate_sketches(dag) if s.cache_write)
+        text = lower_schedule(sample_schedule(sketch, rng))
+        assert "cache write-back" in text
+        assert "alloc_cache" in text
+
+    def test_plain_sketch_has_separate_epilogue(self, rng):
+        dag = gemm(64, 64, 64)
+        sketch = next(s for s in generate_sketches(dag) if s.key == "tiling")
+        text = lower_schedule(sample_schedule(sketch, rng))
+        assert "separate epilogue" in text
+
+    def test_rfactor_sketch_mentions_rfactor(self, rng):
+        dag = gemm(64, 256, 64)
+        sketch = next(s for s in generate_sketches(dag) if s.rfactor)
+        text = lower_schedule(sample_schedule(sketch, rng))
+        assert "rfactor" in text
+
+    def test_inlined_stages_listed_for_conv(self, rng):
+        dag = conv2d(14, 14, 16, 32, 3, 1, 1)
+        sketch = generate_sketches(dag)[0]
+        text = lower_schedule(sample_schedule(sketch, rng))
+        assert "inlined:  pad" in text

@@ -1,0 +1,55 @@
+"""Unit tests for initial schedule sampling."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.factors import product
+from repro.tensor.sampler import sample_initial_schedules, sample_schedule
+from repro.tensor.schedule import GPU_UNROLL_DEPTHS
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import conv2d, gemm, softmax
+
+
+class TestSampleSchedule:
+    def test_schedule_is_valid(self, gemm_sketch, rng):
+        for _ in range(20):
+            schedule = sample_schedule(gemm_sketch, rng)
+            for sizes, (_n, _k, extent, _l) in zip(schedule.tile_sizes, gemm_sketch.tiled_iters):
+                assert product(sizes) == extent
+            assert 0 <= schedule.num_parallel <= schedule.max_parallel
+            assert 0 <= schedule.compute_at_index < len(schedule.dag.compute_at_candidates())
+
+    def test_custom_unroll_depths(self, gemm_sketch, rng):
+        schedule = sample_schedule(gemm_sketch, rng, GPU_UNROLL_DEPTHS)
+        assert schedule.unroll_depths == GPU_UNROLL_DEPTHS
+
+    def test_deterministic_given_seed(self, gemm_sketch):
+        a = sample_schedule(gemm_sketch, np.random.default_rng(7))
+        b = sample_schedule(gemm_sketch, np.random.default_rng(7))
+        assert a == b
+
+
+class TestSampleInitialSchedules:
+    def test_exact_count(self, gemm_sketch, rng):
+        schedules = sample_initial_schedules(gemm_sketch, 17, rng)
+        assert len(schedules) == 17
+
+    def test_dedup_yields_distinct_schedules(self, gemm_sketch, rng):
+        schedules = sample_initial_schedules(gemm_sketch, 32, rng)
+        signatures = {s.signature() for s in schedules}
+        assert len(signatures) >= 30  # near-unique in a huge space
+
+    def test_small_space_still_returns_requested_count(self, rng):
+        # A tiny softmax has a very small schedule space; duplicates are allowed.
+        sketch = generate_sketches(softmax(2, 2))[0]
+        schedules = sample_initial_schedules(sketch, 64, rng)
+        assert len(schedules) == 64
+
+    def test_rejects_zero_count(self, gemm_sketch, rng):
+        with pytest.raises(ValueError):
+            sample_initial_schedules(gemm_sketch, 0, rng)
+
+    def test_conv_sampling(self, rng):
+        sketch = generate_sketches(conv2d(14, 14, 32, 64, 3, 1, 1))[1]
+        schedules = sample_initial_schedules(sketch, 8, rng)
+        assert all(s.sketch.key == sketch.key for s in schedules)

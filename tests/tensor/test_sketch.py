@@ -1,0 +1,80 @@
+"""Unit tests for sketch generation (Table 2 rules)."""
+
+import pytest
+
+from repro.tensor.sketch import Sketch, generate_sketches
+from repro.tensor.workloads import conv2d, elementwise, gemm, softmax
+
+
+class TestGenerateSketches:
+    def test_gemm_with_bias_has_three_sketches(self):
+        """Matches the paper: a matrix multiplication subgraph has 3 sketches."""
+        sketches = generate_sketches(gemm(1024, 1024, 1024))
+        assert len(sketches) == 3
+        keys = {s.key for s in sketches}
+        assert keys == {"tiling", "tiling+fuse", "tiling+rfactor"}
+
+    def test_gemm_without_consumer_uses_cache_write(self):
+        sketches = generate_sketches(gemm(256, 256, 256, bias=False))
+        keys = {s.key for s in sketches}
+        assert "tiling+cache_write" in keys
+        assert "tiling+fuse" not in keys
+
+    def test_small_reduction_skips_rfactor(self):
+        sketches = generate_sketches(gemm(128, 8, 128))
+        assert all(not s.rfactor for s in sketches)
+
+    def test_conv2d_inlines_pad(self):
+        sketches = generate_sketches(conv2d(14, 14, 32, 64, 3, 1, 1))
+        assert all("pad" in s.inlined_stages for s in sketches)
+        assert all("inline" in s.rules for s in sketches)
+
+    def test_elementwise_gets_single_light_sketch(self):
+        sketches = generate_sketches(elementwise([64, 64]))
+        assert len(sketches) == 1
+        assert sketches[0].spatial_levels <= 2
+
+    def test_softmax_single_sketch(self):
+        assert len(generate_sketches(softmax(128, 128))) == 1
+
+    def test_gpu_levels_respected(self):
+        sketches = generate_sketches(gemm(256, 256, 256), spatial_levels=5, reduction_levels=3)
+        assert sketches[0].spatial_levels == 5
+        assert sketches[0].reduction_levels == 3
+
+
+class TestSketchProperties:
+    def test_tiled_iters_ordering(self):
+        sketch = generate_sketches(gemm(32, 16, 8))[0]
+        names = [name for name, *_ in sketch.tiled_iters]
+        assert names == ["i", "j", "k"]
+
+    def test_num_tile_slots(self):
+        sketch = generate_sketches(gemm(32, 16, 8))[0]
+        # 2 spatial iters x 4 levels + 1 reduction iter x 2 levels
+        assert sketch.num_tile_slots == 2 * 4 + 1 * 2
+
+    def test_rejects_unknown_rule(self, gemm_dag):
+        with pytest.raises(ValueError):
+            Sketch(dag=gemm_dag, rules=("warp_drive",), spatial_levels=4, reduction_levels=2)
+
+    def test_rejects_fuse_and_cache_write_together(self, gemm_dag):
+        with pytest.raises(ValueError):
+            Sketch(
+                dag=gemm_dag,
+                rules=("tiling",),
+                spatial_levels=4,
+                reduction_levels=2,
+                fuse_consumer=True,
+                cache_write=True,
+            )
+
+    def test_rejects_bad_levels(self, gemm_dag):
+        with pytest.raises(ValueError):
+            Sketch(dag=gemm_dag, rules=("tiling",), spatial_levels=0, reduction_levels=2)
+
+    def test_key_reflects_flags(self, gemm_dag):
+        sketch = Sketch(
+            dag=gemm_dag, rules=("tiling", "rfactor"), spatial_levels=4, reduction_levels=2, rfactor=True
+        )
+        assert sketch.key == "tiling+rfactor"

@@ -1,0 +1,128 @@
+"""Unit tests for the operator workload factories."""
+
+import pytest
+
+from repro.tensor.workloads import (
+    batch_gemm,
+    conv1d,
+    conv2d,
+    conv2d_transpose,
+    conv3d,
+    elementwise,
+    gemm,
+    gemm_tanh,
+    softmax,
+)
+
+
+class TestGemm:
+    def test_shape_metadata(self):
+        dag = gemm(128, 256, 64)
+        assert dag.tags["op"] == "gemm"
+        assert dag.tags["shape"] == (128, 256, 64)
+
+    def test_batch_scales_rows_and_flops(self):
+        single = gemm(128, 128, 128, batch=1, bias=False)
+        batched = gemm(128, 128, 128, batch=16, bias=False)
+        assert batched.flops == pytest.approx(16 * single.flops)
+
+    def test_main_stage_iterators(self):
+        dag = gemm(32, 16, 8)
+        extents = {it.name: it.extent for it in dag.main_stage.iters}
+        assert extents == {"i": 32, "j": 8, "k": 16}
+
+
+class TestBatchGemm:
+    def test_flops(self):
+        dag = batch_gemm(12, 128, 64, 128)
+        assert dag.flops == pytest.approx(2.0 * 12 * 128 * 64 * 128)
+
+    def test_batch_dimension_is_spatial(self):
+        dag = batch_gemm(4, 8, 8, 8)
+        spatial = [it.name for it in dag.main_stage.spatial_iters]
+        assert "b" in spatial
+
+
+class TestGemmTanh:
+    def test_has_tanh_stage(self):
+        dag = gemm_tanh(1, 768, 768)
+        assert any(s.name == "tanh" for s in dag.stages)
+        assert dag.tags["op"] == "gemm_tanh"
+
+
+class TestConv1d:
+    def test_output_length(self):
+        dag = conv1d(256, 64, 128, 3, 2, 1)
+        ol = next(it for it in dag.main_stage.iters if it.name == "ol")
+        assert ol.extent == (256 + 2 * 1 - 3) // 2 + 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            conv1d(2, 4, 4, 7, 1, 0)
+
+
+class TestConv2d:
+    def test_output_spatial_extents(self):
+        dag = conv2d(224, 224, 3, 64, 7, 2, 3)
+        extents = {it.name: it.extent for it in dag.main_stage.spatial_iters}
+        assert extents["oh"] == 112 and extents["ow"] == 112
+
+    def test_flops_formula(self):
+        dag = conv2d(14, 14, 256, 256, 3, 1, 1)
+        conv_flops = 2.0 * 1 * 256 * 14 * 14 * 256 * 3 * 3
+        relu_flops = 1 * 256 * 14 * 14
+        pad_flops = 0
+        assert dag.flops == pytest.approx(conv_flops + relu_flops + pad_flops)
+
+    def test_depthwise_groups_shrink_reduction(self):
+        dag = conv2d(14, 14, 32, 32, 3, 1, 1, groups=32)
+        ci = next(it for it in dag.main_stage.reduction_iters if it.name == "ci")
+        assert ci.extent == 1
+        assert dag.tags["op"] == "depthwise_conv2d"
+
+    def test_bad_groups_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d(14, 14, 30, 32, 3, 1, 1, groups=4)
+
+
+class TestConv3d:
+    def test_five_spatial_iters(self):
+        dag = conv3d(16, 14, 14, 8, 8, 3, 1, 1)
+        assert len(dag.main_stage.spatial_iters) == 5
+        assert len(dag.main_stage.reduction_iters) == 4
+
+
+class TestConv2dTranspose:
+    def test_output_size(self):
+        dag = conv2d_transpose(4, 4, 512, 256, 4, 2, 1)
+        extents = {it.name: it.extent for it in dag.main_stage.spatial_iters}
+        assert extents["oh"] == (4 - 1) * 2 - 2 * 1 + 4
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_transpose(1, 1, 4, 4, 1, 1, 3)
+
+
+class TestSoftmax:
+    def test_stage_chain(self):
+        dag = softmax(64, 32)
+        names = [s.name for s in dag.stages]
+        assert names == ["logits", "row_max", "exp", "row_sum", "normalize"]
+
+    def test_batch_scales_rows(self):
+        assert softmax(64, 32, batch=4).flops == pytest.approx(4 * softmax(64, 32).flops)
+
+
+class TestElementwise:
+    def test_num_ops_controls_stage_count(self):
+        dag = elementwise([64, 64], num_ops=3)
+        assert len(dag.compute_stages) == 3
+
+    def test_rejects_zero_ops(self):
+        with pytest.raises(ValueError):
+            elementwise([8, 8], num_ops=0)
+
+    def test_flops_scale_with_ops(self):
+        one = elementwise([32, 32], num_ops=1).flops
+        three = elementwise([32, 32], num_ops=3).flops
+        assert three == pytest.approx(3 * one)

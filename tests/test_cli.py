@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_op_defaults(self):
+        args = build_parser().parse_args(["tune-op"])
+        assert args.op == "GEMM-L"
+        assert args.scheduler == "harl"
+        assert args.target == "cpu"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune-op", "--op", "GEMM-XL"])
+
+
+class TestCommands:
+    def test_tune_op_harl(self, capsys):
+        code = main([
+            "tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+            "--scheduler", "harl", "--show-program",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gemm" in out
+        assert "for " in out  # lowered program printed
+
+    def test_tune_op_ansor(self, capsys):
+        code = main(["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                     "--scheduler", "ansor"])
+        assert code == 0
+        assert "ansor" in capsys.readouterr().out
+
+    def test_tune_op_autotvm(self, capsys):
+        code = main(["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                     "--scheduler", "autotvm"])
+        assert code == 0
+        assert "autotvm" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "harl" in out and "ansor" in out
+
+    def test_tune_network(self, capsys):
+        code = main([
+            "tune-network", "--network", "bert", "--trials", "90", "--scale", "0.05",
+            "--scheduler", "harl",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bert_base_b1" in out
+        assert "end-to-end latency" in out
