@@ -1,0 +1,24 @@
+# Developer entry points.  Everything runs against the in-tree sources via
+# PYTHONPATH, so no install step is required.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke bench-full
+
+## Tier-1 verification: the full unit/property/integration suite.
+test:
+	$(PYTHON) -m pytest tests -q
+
+## Fast smoke pass over the benchmark harness (seconds, not minutes).
+## Use this to sanity-check perf-sensitive changes before a full run.
+bench-smoke:
+	$(PYTHON) -m pytest -m smoke benchmarks -q
+
+## Laptop-scale reproduction of every figure/table benchmark.
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Paper-scale budgets (slow; see benchmarks/conftest.py).
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks -q

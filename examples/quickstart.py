@@ -8,13 +8,18 @@ Run with::
 The script builds a 512x512x512 matrix-multiplication compute DAG, tunes it
 with the HARL auto-scheduler on the simulated 32-core CPU target, and prints
 the best schedule it found together with the tuning progress.
+
+``--num-workers 4`` measures each candidate batch on a worker pool (results
+are identical for the same seed, see docs/architecture.md) and
+``--records-out logs/quickstart.jsonl`` streams every measurement to an
+append-only log that later runs can resume from.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import HARLConfig, HARLScheduler, cpu_target, gemm
+from repro import HARLConfig, HARLScheduler, ParallelMeasurer, RecordStore, cpu_target, gemm
 
 
 def main() -> None:
@@ -24,13 +29,31 @@ def main() -> None:
     parser.add_argument("--k", type=int, default=512)
     parser.add_argument("--n", type=int, default=512)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--num-workers", type=int, default=1,
+                        help="measurement pool size (1 = serial)")
+    parser.add_argument("--records-out", default=None,
+                        help="append every measurement to this JSONL log")
     args = parser.parse_args()
 
     dag = gemm(args.m, args.k, args.n)
     target = cpu_target()
     # A quarter of the paper-scale episode width keeps the example snappy.
     config = HARLConfig.scaled(0.25)
-    scheduler = HARLScheduler(target=target, config=config, seed=args.seed)
+
+    measurer = None
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    if args.num_workers > 1:
+        measurer = ParallelMeasurer(
+            target,
+            num_workers=args.num_workers,
+            min_repeat_seconds=config.min_repeat_seconds,
+            seed=args.seed,
+            record_store=record_store,
+        )
+    scheduler = HARLScheduler(
+        target=target, config=config, seed=args.seed,
+        measurer=measurer, record_store=record_store,
+    )
 
     print(f"Tuning {dag.name} ({dag.flops / 1e9:.2f} GFLOPs) on {target.name} "
           f"with {args.trials} measurement trials...")
@@ -49,6 +72,11 @@ def main() -> None:
     for trial, latency in result.history:
         if trial in checkpoints:
             print(f"  trial {trial:5d}: {latency * 1e3:8.3f} ms")
+
+    if record_store is not None:
+        record_store.close()
+        print(f"\nrecords written to {args.records_out} "
+              f"({result.trials_used} measurements this run)")
 
 
 if __name__ == "__main__":

@@ -14,14 +14,15 @@ Quick start::
     result = scheduler.tune(gemm(512, 512, 512), n_trials=200)
     print(result.best_latency, result.best_schedule)
 
-See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
-inventory and ``EXPERIMENTS.md`` for the reproduced evaluation results.
+See ``README.md`` for install / quickstart and the layer-by-layer map, and
+``docs/architecture.md`` for the decision hierarchy, the batched measurement
+pipeline and the persistent record store.
 """
 
 from repro.core import HARLConfig, HARLScheduler, TuningResult
 from repro.baselines import AnsorScheduler, FlextensorScheduler, SimulatedAnnealingScheduler
-from repro.records import TuningRecord, load_records, save_records
-from repro.hardware import HardwareTarget, Measurer, cpu_target, gpu_target
+from repro.records import MeasureRecord, RecordStore, TuningRecord, load_records, save_records
+from repro.hardware import HardwareTarget, Measurer, ParallelMeasurer, cpu_target, gpu_target
 from repro.costmodel import ScheduleCostModel
 from repro.networks import NetworkGraph, Subgraph, build_bert, build_mobilenet_v2, build_resnet50
 from repro.tensor import (
@@ -49,8 +50,11 @@ __all__ = [
     "HARLConfig",
     "HARLScheduler",
     "HardwareTarget",
+    "MeasureRecord",
     "Measurer",
     "NetworkGraph",
+    "ParallelMeasurer",
+    "RecordStore",
     "Schedule",
     "ScheduleCostModel",
     "SimulatedAnnealingScheduler",

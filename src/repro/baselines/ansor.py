@@ -72,6 +72,7 @@ class AnsorScheduler:
         measurer: Optional[Measurer] = None,
         alpha: float = 0.2,
         beta: float = 2.0,
+        record_store=None,
     ):
         self.target = target or cpu_target()
         self.config = config or AnsorConfig()
@@ -81,15 +82,44 @@ class AnsorScheduler:
         self._rng = np.random.default_rng(seed)
         self.measurer = measurer or Measurer(self.target, seed=seed)
         self.cost_model = cost_model or ScheduleCostModel(seed=seed)
+        self.record_store = record_store
+        if record_store is not None and self.measurer.record_store is None:
+            self.measurer.record_store = record_store
+        self._resume_store = None
+        self._resumed: set = set()
         self._search_steps: Dict[str, int] = {}
         self._best_schedules: Dict[str, List[Schedule]] = {}
         self._rounds: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def resume_from(self, store) -> "AnsorScheduler":
+        """Resume tuning from a persisted record store.
+
+        Replayed lazily per workload: the cost model is warm-started with
+        the recorded measurements, the measurer's best-known statistics are
+        preloaded, and the best recorded schedules seed the evolutionary
+        warm starts.  Returns ``self`` for chaining.
+        """
+        self._resume_store = store
+        self._resumed.clear()
+        return self
+
+    def _maybe_replay(self, dag: ComputeDAG) -> None:
+        if self._resume_store is None or dag.name in self._resumed:
+            return
+        self._resumed.add(dag.name)
+        restored = self._resume_store.replay(
+            dag, cost_model=self.cost_model, measurer=self.measurer
+        )
+        if restored:
+            self._best_schedules[dag.name] = list(reversed(restored[:8]))
 
     # ------------------------------------------------------------------ #
     def tune(self, dag: ComputeDAG, n_trials: int) -> TuningResult:
         """Tune a single operator within a measurement-trial budget."""
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
+        self._maybe_replay(dag)
         sketches = generate_sketches(
             dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
         )
@@ -97,7 +127,10 @@ class AnsorScheduler:
         while self.measurer.trials(dag.name) - start_trials < n_trials:
             remaining = n_trials - (self.measurer.trials(dag.name) - start_trials)
             self._run_round(dag, sketches, max_measures=remaining)
-        return self._build_result(dag)
+        result = self._build_result(dag)
+        if self.record_store is not None:
+            self.record_store.append_result(result)
+        return result
 
     def _run_round(
         self, dag: ComputeDAG, sketches: List[Sketch], max_measures: Optional[int] = None
@@ -162,6 +195,8 @@ class AnsorScheduler:
         latency_history: List[Tuple[int, float]] = []
         start_trials = self.measurer.total_trials
 
+        for sg in network:
+            self._maybe_replay(sg.dag)
         while self.measurer.total_trials - start_trials < n_trials:
             remaining = n_trials - (self.measurer.total_trials - start_trials)
             task_name = task_scheduler.next_task()
@@ -175,6 +210,9 @@ class AnsorScheduler:
             )
 
         task_results = {sg.name: self._build_result(sg.dag) for sg in network}
+        if self.record_store is not None:
+            for task_result in task_results.values():
+                self.record_store.append_result(task_result)
         return NetworkTuningResult(
             network=network.name,
             scheduler=self.name,

@@ -43,6 +43,7 @@ class SimulatedAnnealingScheduler:
         cooling: float = 0.9,
         cost_model: Optional[ScheduleCostModel] = None,
         measurer: Optional[Measurer] = None,
+        record_store=None,
     ):
         if num_chains < 1 or steps_per_round < 1:
             raise ValueError("num_chains and steps_per_round must be >= 1")
@@ -56,12 +57,32 @@ class SimulatedAnnealingScheduler:
         self._rng = np.random.default_rng(seed)
         self.measurer = measurer or Measurer(self.target, seed=seed)
         self.cost_model = cost_model or ScheduleCostModel(seed=seed)
+        self.record_store = record_store
+        if record_store is not None and self.measurer.record_store is None:
+            self.measurer.record_store = record_store
+        self._resume_store = None
+        self._resumed: set = set()
         self._search_steps: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
+    def resume_from(self, store) -> "SimulatedAnnealingScheduler":
+        """Resume from a persisted record store (lazy per-workload replay).
+
+        Warm-starts the cost model with the recorded measurements and
+        preloads the measurer's best-known statistics; returns ``self``.
+        """
+        self._resume_store = store
+        self._resumed.clear()
+        return self
+
     def tune(self, dag: ComputeDAG, n_trials: int) -> TuningResult:
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
+        if self._resume_store is not None and dag.name not in self._resumed:
+            self._resumed.add(dag.name)
+            self._resume_store.replay(
+                dag, cost_model=self.cost_model, measurer=self.measurer
+            )
         sketch = generate_sketches(
             dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
         )[0]
@@ -80,7 +101,7 @@ class SimulatedAnnealingScheduler:
             temperature *= self.cooling
 
         best_latency = self.measurer.best_latency(dag.name)
-        return TuningResult(
+        result = TuningResult(
             workload=dag.name,
             scheduler=self.name,
             best_latency=best_latency,
@@ -91,6 +112,9 @@ class SimulatedAnnealingScheduler:
             history=self.measurer.history(dag.name),
             extras={"final_temperature": temperature},
         )
+        if self.record_store is not None:
+            self.record_store.append_result(result)
+        return result
 
     def _anneal_round(
         self,

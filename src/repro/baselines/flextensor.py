@@ -42,12 +42,18 @@ class FlextensorScheduler:
         seed: int = 0,
         cost_model: Optional[ScheduleCostModel] = None,
         measurer: Optional[Measurer] = None,
+        record_store=None,
     ):
         self.target = target or cpu_target()
         self.config = config or HARLConfig()
         self.seed = int(seed)
         self.measurer = measurer or Measurer(self.target, seed=seed)
         self.cost_model = cost_model or ScheduleCostModel(seed=seed)
+        self.record_store = record_store
+        if record_store is not None and self.measurer.record_store is None:
+            self.measurer.record_store = record_store
+        self._resume_store = None
+        self._resumed: set = set()
         self._searchers: Dict[str, ParameterSearcher] = {}
         self._search_steps: Dict[str, int] = {}
         #: Per-workload list of relative critical-step positions (Fig. 1c data).
@@ -80,10 +86,25 @@ class FlextensorScheduler:
             self._searchers[dag.name] = searcher
         return searcher
 
+    def resume_from(self, store) -> "FlextensorScheduler":
+        """Resume from a persisted record store (lazy per-workload replay).
+
+        Warm-starts the cost model with the recorded measurements and
+        preloads the measurer's best-known statistics; returns ``self``.
+        """
+        self._resume_store = store
+        self._resumed.clear()
+        return self
+
     def tune(self, dag: ComputeDAG, n_trials: int) -> TuningResult:
         """Tune a single operator with fixed-length RL episodes."""
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
+        if self._resume_store is not None and dag.name not in self._resumed:
+            self._resumed.add(dag.name)
+            self._resume_store.replay(
+                dag, cost_model=self.cost_model, measurer=self.measurer
+            )
         searcher = self._searcher(dag)
         start_trials = self.measurer.trials(dag.name)
         positions = self.critical_positions.setdefault(dag.name, [])
@@ -97,7 +118,7 @@ class FlextensorScheduler:
             positions.extend(episode.critical_positions)
 
         best_latency = self.measurer.best_latency(dag.name)
-        return TuningResult(
+        result = TuningResult(
             workload=dag.name,
             scheduler=self.name,
             best_latency=best_latency,
@@ -108,6 +129,9 @@ class FlextensorScheduler:
             history=self.measurer.history(dag.name),
             extras={"critical_positions": list(positions)},
         )
+        if self.record_store is not None:
+            self.record_store.append_result(result)
+        return result
 
     def tune_network(self, network, n_trials: int):
         """Flextensor does not support end-to-end network optimisation (Table 1)."""

@@ -24,31 +24,74 @@ from repro.core.scheduler import HARLScheduler
 from repro.experiments.cache import build_network
 from repro.experiments.operator_suite import OPERATOR_CLASSES, representative_dag
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import compare_on_operator
+from repro.experiments.runner import compare_on_operator, make_measurer
 from repro.hardware.target import cpu_target, gpu_target
+from repro.records import RecordStore
 from repro.tensor.lowering import lower_schedule
 
 __all__ = ["main", "build_parser"]
 
 _SCHEDULER_CHOICES = ("harl", "hierarchical-rl", "ansor", "flextensor", "autotvm")
 
+_EPILOG = """\
+measurement pipeline flags (available on every sub-command):
 
-def _make_scheduler(name: str, target, config: HARLConfig, seed: int):
+  --num-workers N   Fan each measurement batch out over N pool workers via
+                    ParallelMeasurer.  Measurement noise is pre-drawn in
+                    batch-submission order, so for a fixed --seed the results
+                    are identical to a serial run (N=1), only faster.
+  --records-out F   Stream every measurement (and the final tuning result) to
+                    the append-only JSONL log F while tuning runs.  The log is
+                    flushed per line, so a killed run loses at most one line.
+  --resume-from F   Load a JSONL log written by --records-out and resume from
+                    it: the cost model is warm-started with all recorded
+                    measurements and the best recorded schedules seed the
+                    search, so the new trial budget extends the old run
+                    instead of repeating it.  Corrupted lines are skipped.
+
+  For `compare`, --records-out names a directory instead: each competing
+  scheduler writes its own <scheduler>.jsonl log there (no cross-talk), and
+  --resume-from is ignored (comparisons always start from scratch so the
+  head-to-head stays fair).
+
+examples:
+
+  python -m repro tune-op --op GEMM-L --trials 200 --num-workers 4 \\
+      --records-out logs/gemm.jsonl
+  python -m repro tune-op --op GEMM-L --trials 200 \\
+      --resume-from logs/gemm.jsonl --records-out logs/gemm.jsonl
+  python -m repro compare --op C2D --batch 16 --num-workers 4
+"""
+
+
+def _make_scheduler(name: str, target, config: HARLConfig, seed: int,
+                    measurer=None, record_store=None):
     if name == "harl":
-        return HARLScheduler(target=target, config=config, seed=seed)
+        return HARLScheduler(target=target, config=config, seed=seed,
+                             measurer=measurer, record_store=record_store)
     if name == "hierarchical-rl":
-        return HARLScheduler(target=target, config=config, seed=seed, adaptive_stopping=False)
+        return HARLScheduler(target=target, config=config, seed=seed,
+                             adaptive_stopping=False,
+                             measurer=measurer, record_store=record_store)
     if name == "ansor":
-        return AnsorScheduler(target=target, config=AnsorConfig.from_harl(config), seed=seed)
+        return AnsorScheduler(target=target, config=AnsorConfig.from_harl(config),
+                              seed=seed, measurer=measurer, record_store=record_store)
     if name == "flextensor":
-        return FlextensorScheduler(target=target, config=config, seed=seed)
+        return FlextensorScheduler(target=target, config=config, seed=seed,
+                                   measurer=measurer, record_store=record_store)
     if name == "autotvm":
-        return SimulatedAnnealingScheduler(target=target, seed=seed)
+        return SimulatedAnnealingScheduler(target=target, seed=seed,
+                                           measurer=measurer, record_store=record_store)
     raise KeyError(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -57,8 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--scale", type=float, default=0.25,
                        help="HARLConfig.scaled factor (1.0 = paper-scale episodes)")
+        p.add_argument("--num-workers", type=int, default=1, metavar="N",
+                       help="measurement pool size (1 = serial; results are "
+                            "seed-identical either way)")
+        p.add_argument("--records-out", metavar="FILE", default=None,
+                       help="append every measurement to this JSONL record log")
+        p.add_argument("--resume-from", metavar="FILE", default=None,
+                       help="warm-start from a JSONL record log written by "
+                            "--records-out")
 
-    op = sub.add_parser("tune-op", help="tune one Table 6 operator class")
+    op = sub.add_parser("tune-op", help="tune one Table 6 operator class",
+                        epilog=_EPILOG,
+                        formatter_class=argparse.RawDescriptionHelpFormatter)
     common(op)
     op.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
     op.add_argument("--batch", type=int, default=1)
@@ -66,13 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
     op.add_argument("--show-program", action="store_true",
                     help="print the lowered loop nest of the best schedule")
 
-    net = sub.add_parser("tune-network", help="tune a network end to end")
+    net = sub.add_parser("tune-network", help="tune a network end to end",
+                         epilog=_EPILOG,
+                         formatter_class=argparse.RawDescriptionHelpFormatter)
     common(net)
     net.add_argument("--network", choices=("bert", "resnet50", "mobilenet_v2"), default="bert")
     net.add_argument("--batch", type=int, default=1)
     net.add_argument("--scheduler", choices=("harl", "ansor"), default="harl")
 
-    cmp = sub.add_parser("compare", help="HARL vs Ansor on one operator")
+    cmp = sub.add_parser("compare", help="HARL vs Ansor on one operator",
+                         epilog=_EPILOG,
+                         formatter_class=argparse.RawDescriptionHelpFormatter)
     common(cmp)
     cmp.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
     cmp.add_argument("--batch", type=int, default=1)
@@ -84,10 +141,34 @@ def _resolve_target(name: str):
     return cpu_target() if name == "cpu" else gpu_target()
 
 
+def _build_pipeline(args, target, config: HARLConfig):
+    """Resolve the (measurer, record store, resume store) trio for a run."""
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    resume_store = None
+    if args.resume_from:
+        if record_store is not None and args.resume_from == args.records_out:
+            # Resuming into the same log: reuse the already-loaded store so
+            # new lines are appended to the history being resumed.
+            resume_store = record_store
+        else:
+            try:
+                resume_store = RecordStore.load(args.resume_from)
+            except FileNotFoundError:
+                print(f"error: --resume-from {args.resume_from!r} does not exist",
+                      file=sys.stderr)
+                raise SystemExit(2)
+    measurer = make_measurer(target, config, args.seed, args.num_workers, record_store)
+    return measurer, record_store, resume_store
+
+
 def _cmd_tune_op(args) -> int:
     target = _resolve_target(args.target)
     config = HARLConfig.scaled(args.scale)
-    scheduler = _make_scheduler(args.scheduler, target, config, args.seed)
+    measurer, record_store, resume_store = _build_pipeline(args, target, config)
+    scheduler = _make_scheduler(args.scheduler, target, config, args.seed,
+                                measurer=measurer, record_store=record_store)
+    if resume_store is not None and hasattr(scheduler, "resume_from"):
+        scheduler.resume_from(resume_store)
     dag = representative_dag(args.op, batch=args.batch)
     result = scheduler.tune(dag, n_trials=args.trials)
     print(format_table(
@@ -98,13 +179,20 @@ def _cmd_tune_op(args) -> int:
     if args.show_program and result.best_schedule is not None:
         print()
         print(lower_schedule(result.best_schedule))
+    if record_store is not None:
+        record_store.close()
+        print(f"\nrecords written to {args.records_out}")
     return 0
 
 
 def _cmd_tune_network(args) -> int:
     target = _resolve_target(args.target)
     config = HARLConfig.scaled(args.scale)
-    scheduler = _make_scheduler(args.scheduler, target, config, args.seed)
+    measurer, record_store, resume_store = _build_pipeline(args, target, config)
+    scheduler = _make_scheduler(args.scheduler, target, config, args.seed,
+                                measurer=measurer, record_store=record_store)
+    if resume_store is not None and hasattr(scheduler, "resume_from"):
+        scheduler.resume_from(resume_store)
     network = build_network(args.network, batch_size=args.batch)
     result = scheduler.tune_network(network, n_trials=args.trials)
     rows = [
@@ -115,6 +203,9 @@ def _cmd_tune_network(args) -> int:
                        title=f"{network.name} via {result.scheduler}"))
     print(f"\nestimated end-to-end latency: {result.best_latency * 1e3:.3f} ms "
           f"({result.trials_used} trials)")
+    if record_store is not None:
+        record_store.close()
+        print(f"records written to {args.records_out}")
     return 0
 
 
@@ -124,7 +215,8 @@ def _cmd_compare(args) -> int:
     dag = representative_dag(args.op, batch=args.batch)
     comparison = compare_on_operator(
         dag, n_trials=args.trials, target=target, config=config, seed=args.seed,
-        schedulers=("ansor", "harl"),
+        schedulers=("ansor", "harl"), num_workers=args.num_workers,
+        records_dir=args.records_out,
     )
     perf = comparison.normalized_performance()
     times = comparison.normalized_search_time()

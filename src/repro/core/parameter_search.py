@@ -83,7 +83,10 @@ class ParameterSearcher:
     cost_model:
         Online cost model used for rewards, pruning scores and top-K selection.
     measurer:
-        Simulated hardware measurer; consumes measurement trials.
+        Simulated hardware measurer; consumes measurement trials.  The top-K
+        candidates of every episode are submitted as one batch, so a
+        :class:`~repro.hardware.parallel.ParallelMeasurer` fans them out over
+        its worker pool without any change here.
     config:
         HARL configuration (track counts, top-K, RL training interval, ...).
     stopper:
@@ -220,6 +223,7 @@ class ParameterSearcher:
     def _measure_top_k(
         self, history: Dict, max_measures: Optional[int]
     ) -> List[MeasureResult]:
+        """Measure the top-K predicted schedules of the episode in one batch."""
         budget = self.config.measures_per_round
         if max_measures is not None:
             budget = min(budget, max_measures)

@@ -81,6 +81,16 @@ class HARLScheduler:
     use_subgraph_mab:
         Disable to fall back to greedy gradient-based task selection for
         end-to-end networks ("HARL w/o subgraph MAB" in Table 4).
+    measurer:
+        Measurement backend; pass a
+        :class:`~repro.hardware.parallel.ParallelMeasurer` to fan measurement
+        batches out over a worker pool (results are identical to the serial
+        default for the same seed).
+    record_store:
+        Optional :class:`~repro.records.RecordStore`.  When given, every
+        measurement is streamed to the store's JSONL log as it happens and
+        each final tuning result is appended on completion, so the run is
+        resumable via :meth:`resume_from`.
     """
 
     name = "harl"
@@ -95,6 +105,7 @@ class HARLScheduler:
         use_subgraph_mab: bool = True,
         cost_model: Optional[ScheduleCostModel] = None,
         measurer: Optional[Measurer] = None,
+        record_store=None,
     ):
         self.target = target or cpu_target()
         self.config = config or HARLConfig()
@@ -107,10 +118,31 @@ class HARLScheduler:
             self.target, min_repeat_seconds=self.config.min_repeat_seconds, seed=seed
         )
         self.cost_model = cost_model or ScheduleCostModel(seed=seed)
+        self.record_store = record_store
+        if record_store is not None and self.measurer.record_store is None:
+            self.measurer.record_store = record_store
+        self._resume_store = None
         self._tasks: Dict[str, _TaskContext] = {}
 
         if not adaptive_stopping:
             self.name = "hierarchical-rl"
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def resume_from(self, store) -> "HARLScheduler":
+        """Resume tuning from a previously persisted record store.
+
+        The store's measurements are replayed lazily, per workload, the first
+        time each workload is tuned: the cost model is warm-started with the
+        recorded (schedule, throughput) pairs, the measurer's best-known
+        statistics are preloaded, and the best recorded schedules seed the
+        episode warm starts.  Returns ``self`` for chaining.
+        """
+        self._resume_store = store
+        # Contexts built before the call would miss the replay.
+        self._tasks.clear()
+        return self
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -120,6 +152,12 @@ class HARLScheduler:
         if ctx is None:
             ctx = _TaskContext(dag, self)
             self._tasks[dag.name] = ctx
+            if self._resume_store is not None:
+                restored = self._resume_store.replay(
+                    dag, cost_model=self.cost_model, measurer=self.measurer
+                )
+                # Best recorded schedules become episode warm starts.
+                ctx.best_schedules = list(reversed(restored[:4]))
         return ctx
 
     def _make_stopper(self):
@@ -168,7 +206,14 @@ class HARLScheduler:
             remaining = n_trials - (self.measurer.trials(dag.name) - start_trials)
             self._run_round(ctx, max_measures=remaining)
 
-        return self._build_result(ctx)
+        result = self._build_result(ctx)
+        self._persist_result(result)
+        return result
+
+    def _persist_result(self, result: TuningResult) -> None:
+        """Append a final tuning result to the record store, if one is attached."""
+        if self.record_store is not None:
+            self.record_store.append_result(result)
 
     def _run_round(self, ctx: _TaskContext, max_measures: Optional[int] = None) -> EpisodeResult:
         """One tuning round: pick a sketch, run one parameter-search episode."""
@@ -279,6 +324,8 @@ class HARLScheduler:
             latency_history.append((self.measurer.total_trials - start_trials, current))
 
         task_results = {name: self._build_result(contexts[name]) for name in task_names}
+        for task_result in task_results.values():
+            self._persist_result(task_result)
         return NetworkTuningResult(
             network=network.name,
             scheduler=self.name,

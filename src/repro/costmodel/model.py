@@ -76,13 +76,19 @@ class ScheduleCostModel:
             raise ValueError("schedules and throughputs must have the same length")
         if not schedules:
             return
+        valid = [
+            (schedule, throughput)
+            for schedule, throughput in zip(schedules, throughputs)
+            if np.isfinite(throughput) and throughput > 0
+        ]
         touched = set()
-        for schedule, throughput in zip(schedules, throughputs):
-            if not np.isfinite(throughput) or throughput <= 0:
-                continue
+        # One vectorised feature-extraction pass for the whole batch instead
+        # of a per-schedule call.
+        features = batch_features([schedule for schedule, _ in valid])
+        for (schedule, throughput), feature in zip(valid, features):
             key = schedule.dag.name
             data = self._data.setdefault(key, _WorkloadData())
-            data.features.append(batch_features([schedule])[0])
+            data.features.append(feature)
             data.throughputs.append(float(throughput))
             self._since_fit[key] = self._since_fit.get(key, 0) + 1
             touched.add(key)

@@ -4,6 +4,13 @@ This is the weak learner of the gradient-boosted cost model.  Splits minimise
 the squared-error criterion; split search is vectorised with NumPy prefix
 sums over the sorted feature values, so fitting stays fast for the few
 thousand samples collected during a tuning run.
+
+Prediction is vectorised as well: after fitting, the tree is flattened into
+parallel node arrays (feature, threshold, child indices, leaf value) and a
+whole feature matrix is routed level by level in at most ``max_depth`` NumPy
+steps, instead of walking the node objects once per row.  This is what makes
+batched cost-model inference fast enough for the measurement pipeline's
+large candidate batches.
 """
 
 from __future__ import annotations
@@ -76,22 +83,62 @@ class RegressionTree:
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
         self._root = self._build(X, y, depth=0)
+        self._flatten()
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a whole feature matrix at once.
+
+        The batch is routed through the flattened node arrays level by level:
+        every iteration advances all rows still at internal nodes one level
+        down, so the loop runs at most ``max_depth`` times regardless of the
+        batch size.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError("X must be 2-dimensional")
-        return np.array([self._predict_row(row) for row in X], dtype=np.float64)
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        while True:
+            feature = self._node_feature[node]
+            active = feature >= 0
+            if not np.any(active):
+                break
+            rows = np.nonzero(active)[0]
+            at = node[rows]
+            go_left = X[rows, feature[rows]] <= self._node_threshold[at]
+            node[rows] = np.where(go_left, self._node_left[at], self._node_right[at])
+        return self._node_value[node]
 
     # ------------------------------------------------------------------ #
-    def _predict_row(self, row: np.ndarray) -> float:
-        node = self._root
-        while not node.is_leaf:
-            node = node.left if row[node.feature] <= node.threshold else node.right
-        return node.prediction
+    def _flatten(self) -> None:
+        """Flatten the node objects into parallel arrays for batched predict."""
+        features: list = []
+        thresholds: list = []
+        lefts: list = []
+        rights: list = []
+        values: list = []
+
+        def add(node: _Node) -> int:
+            idx = len(features)
+            features.append(-1)
+            thresholds.append(node.threshold)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(node.prediction)
+            if not node.is_leaf:
+                features[idx] = node.feature
+                lefts[idx] = add(node.left)
+                rights[idx] = add(node.right)
+            return idx
+
+        add(self._root)
+        self._node_feature = np.asarray(features, dtype=np.intp)
+        self._node_threshold = np.asarray(thresholds, dtype=np.float64)
+        self._node_left = np.asarray(lefts, dtype=np.intp)
+        self._node_right = np.asarray(rights, dtype=np.intp)
+        self._node_value = np.asarray(values, dtype=np.float64)
 
     def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
         node = _Node(prediction=float(np.mean(y)))

@@ -10,15 +10,19 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.baselines.ansor import AnsorConfig, AnsorScheduler
 from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.core.tuner import NetworkTuningResult, TuningResult
 from repro.experiments.metrics import normalized_performance, normalized_search_time
+from repro.hardware.measurer import Measurer
+from repro.hardware.parallel import ParallelMeasurer
 from repro.hardware.target import HardwareTarget, cpu_target
 from repro.networks.graph import NetworkGraph
+from repro.records import RecordStore
 from repro.tensor.dag import ComputeDAG
 
 __all__ = [
@@ -27,6 +31,7 @@ __all__ = [
     "compare_on_operator",
     "compare_on_network",
     "default_trials",
+    "make_measurer",
 ]
 
 
@@ -73,26 +78,79 @@ class NetworkComparison:
         return normalized_search_time(self.results, baseline=baseline)
 
 
+def make_measurer(
+    target: HardwareTarget,
+    config: HARLConfig,
+    seed: int,
+    num_workers: int,
+    record_store=None,
+) -> Optional[Measurer]:
+    """Build the measurement backend selected by pipeline options.
+
+    This is the single policy shared by the CLI and the comparison runners:
+    returns ``None`` when neither parallelism nor persistence was requested
+    (so callers fall back to each scheduler's default measurer, preserving
+    plain-run seed semantics), a :class:`ParallelMeasurer` when
+    ``num_workers > 1``, and a serial :class:`Measurer` bound to the record
+    store otherwise.
+    """
+    if num_workers <= 1 and record_store is None:
+        return None
+    kwargs = dict(
+        min_repeat_seconds=config.min_repeat_seconds, seed=seed, record_store=record_store
+    )
+    if num_workers > 1:
+        return ParallelMeasurer(target, num_workers=num_workers, **kwargs)
+    return Measurer(target, **kwargs)
+
+
 def _default_factories(
     target: HardwareTarget,
     config: HARLConfig,
     seed: int,
     include: Sequence[str],
+    num_workers: int = 1,
+    records_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Callable[[], object]]:
+    def pipeline_for(name: str):
+        """(measurer, record store) for one competitor.
+
+        Each competitor gets its own record store file so no information
+        leaks between them; the store is also handed to the scheduler so the
+        final 'result' line lands in the same log as the measurements.
+        """
+        store = None
+        if records_dir is not None:
+            store = RecordStore(Path(records_dir) / f"{name}.jsonl")
+        return make_measurer(target, config, seed, num_workers, store), store
+
+    def harl_factory(name: str, **overrides) -> Callable[[], HARLScheduler]:
+        def build():
+            measurer, store = pipeline_for(name)
+            return HARLScheduler(
+                target=target, config=config, seed=seed,
+                measurer=measurer, record_store=store, **overrides,
+            )
+        return build
+
     factories: Dict[str, Callable[[], object]] = {}
     if "ansor" in include:
-        factories["ansor"] = lambda: AnsorScheduler(
-            target=target, config=AnsorConfig.from_harl(config), seed=seed
-        )
+        def build_ansor():
+            measurer, store = pipeline_for("ansor")
+            return AnsorScheduler(
+                target=target, config=AnsorConfig.from_harl(config), seed=seed,
+                measurer=measurer, record_store=store,
+            )
+        factories["ansor"] = build_ansor
     if "harl" in include:
-        factories["harl"] = lambda: HARLScheduler(target=target, config=config, seed=seed)
+        factories["harl"] = harl_factory("harl")
     if "hierarchical-rl" in include:
-        factories["hierarchical-rl"] = lambda: HARLScheduler(
-            target=target, config=config, seed=seed, adaptive_stopping=False
+        factories["hierarchical-rl"] = harl_factory(
+            "hierarchical-rl", adaptive_stopping=False
         )
     if "harl-no-subgraph-mab" in include:
-        factories["harl-no-subgraph-mab"] = lambda: HARLScheduler(
-            target=target, config=config, seed=seed, use_subgraph_mab=False
+        factories["harl-no-subgraph-mab"] = harl_factory(
+            "harl-no-subgraph-mab", use_subgraph_mab=False
         )
     return factories
 
@@ -104,11 +162,26 @@ def compare_on_operator(
     config: Optional[HARLConfig] = None,
     seed: int = 0,
     schedulers: Sequence[str] = ("ansor", "harl"),
+    num_workers: int = 1,
+    records_dir: Optional[Union[str, Path]] = None,
 ) -> OperatorComparison:
-    """Tune one operator with every requested scheduler under the same budget."""
+    """Tune one operator with every requested scheduler under the same budget.
+
+    Parameters
+    ----------
+    num_workers:
+        When > 1, each scheduler measures through a
+        :class:`~repro.hardware.parallel.ParallelMeasurer` with this many
+        workers; results are identical to serial runs for the same seed.
+    records_dir:
+        When set, each scheduler streams its measurements to
+        ``<records_dir>/<scheduler>.jsonl``.
+    """
     target = target or cpu_target()
     config = config or HARLConfig.scaled()
-    factories = _default_factories(target, config, seed, schedulers)
+    factories = _default_factories(
+        target, config, seed, schedulers, num_workers=num_workers, records_dir=records_dir
+    )
     results: Dict[str, TuningResult] = {}
     for name in schedulers:
         scheduler = factories[name]()
@@ -123,11 +196,19 @@ def compare_on_network(
     config: Optional[HARLConfig] = None,
     seed: int = 0,
     schedulers: Sequence[str] = ("ansor", "harl"),
+    num_workers: int = 1,
+    records_dir: Optional[Union[str, Path]] = None,
 ) -> NetworkComparison:
-    """Tune one network end-to-end with every requested scheduler."""
+    """Tune one network end-to-end with every requested scheduler.
+
+    ``num_workers`` and ``records_dir`` behave as in
+    :func:`compare_on_operator`.
+    """
     target = target or cpu_target()
     config = config or HARLConfig.scaled()
-    factories = _default_factories(target, config, seed, schedulers)
+    factories = _default_factories(
+        target, config, seed, schedulers, num_workers=num_workers, records_dir=records_dir
+    )
     results: Dict[str, NetworkTuningResult] = {}
     for name in schedulers:
         scheduler = factories[name]()

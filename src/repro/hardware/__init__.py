@@ -5,17 +5,24 @@ RTX 3090.  This package replaces those measurements with an analytic latency
 model: the simulator scores a schedule from its tiling locality, vectorisation,
 parallel load balance, loop overhead / unrolling and producer-consumer reuse,
 and the measurer adds realistic measurement noise and repeat semantics.
+
+Batches of candidates can be measured serially (:class:`Measurer`) or fanned
+out over a thread/process pool (:class:`ParallelMeasurer`); per-(schedule,
+trial) noise seeding makes both produce identical results for the same seed.
 """
 
 from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
 from repro.hardware.simulator import LatencySimulator
-from repro.hardware.measurer import MeasureResult, Measurer
+from repro.hardware.measurer import MeasureResult, Measurer, simulate_measurement
+from repro.hardware.parallel import ParallelMeasurer
 
 __all__ = [
     "HardwareTarget",
     "LatencySimulator",
     "MeasureResult",
     "Measurer",
+    "ParallelMeasurer",
     "cpu_target",
     "gpu_target",
+    "simulate_measurement",
 ]

@@ -83,6 +83,13 @@ class LatencySimulator:
         return schedule.dag.flops / lat if lat > 0 else 0.0
 
     def breakdown(self, schedule: Schedule) -> SimulationBreakdown:
+        """Full per-component timing decomposition of one schedule.
+
+        Combines the individual efficiency factors (vectorisation, register
+        tiles, loop overhead, cache locality, compute-at placement, fusion),
+        the parallel speedup model, the DRAM-traffic memory time and the
+        deterministic ruggedness factor into the final latency estimate.
+        """
         target = self.target
         dag = schedule.dag
         flops = max(dag.flops, 1.0)

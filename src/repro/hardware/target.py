@@ -72,6 +72,7 @@ class HardwareTarget:
 
     @property
     def unroll_depths(self) -> Tuple[int, ...]:
+        """Auto-unroll depth candidates for this target kind (Appendix A.1)."""
         return CPU_UNROLL_DEPTHS if self.kind == "cpu" else GPU_UNROLL_DEPTHS
 
     @property
@@ -81,6 +82,7 @@ class HardwareTarget:
 
     @property
     def sketch_reduction_levels(self) -> int:
+        """Multi-level tiling depth for reduction loops (2 on CPU, 3 on GPU)."""
         return 2 if self.kind == "cpu" else 3
 
 

@@ -1,9 +1,23 @@
 """Persistence of tuning results (the equivalent of TVM's log-file records).
 
 Auto-scheduler users keep the best schedules found during long tuning runs so
-they can be re-applied without re-tuning.  This module serialises schedules
-and :class:`~repro.core.tuner.TuningResult` objects to JSON and restores the
-schedules against a freshly-built compute DAG.
+they can be re-applied without re-tuning.  This module provides two layers of
+persistence:
+
+* **Snapshot files** — :func:`save_records` / :func:`load_records` write the
+  final :class:`TuningRecord` of each workload to one JSON document, the
+  original seed format.
+* **Append-only JSONL logs** — :class:`RecordStore` streams every individual
+  measurement (and final result) to disk *as it happens*, one JSON object per
+  line.  Because lines are appended and flushed eagerly, a killed tuning run
+  loses at most the line being written; :meth:`RecordStore.load` tolerates a
+  truncated or corrupted trailing line.  A store can be replayed into a fresh
+  scheduler (warm-starting its cost model and best-schedule statistics), which
+  is what powers the CLI's ``--records-out`` / ``--resume-from`` flags.
+
+Schedules are serialised structurally (sketch key, tiling depths, knob
+values) and restored against a freshly-built compute DAG of the same
+workload.
 """
 
 from __future__ import annotations
@@ -11,7 +25,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import IO, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.tuner import TuningResult
 from repro.tensor.dag import ComputeDAG
@@ -19,6 +33,8 @@ from repro.tensor.schedule import Schedule
 from repro.tensor.sketch import generate_sketches
 
 __all__ = [
+    "MeasureRecord",
+    "RecordStore",
     "TuningRecord",
     "schedule_to_dict",
     "schedule_from_dict",
@@ -45,22 +61,32 @@ def schedule_to_dict(schedule: Schedule) -> dict:
     }
 
 
-def schedule_from_dict(data: dict, dag: ComputeDAG) -> Schedule:
+def schedule_from_dict(
+    data: dict, dag: ComputeDAG, sketch_cache: Optional[dict] = None
+) -> Schedule:
     """Reconstruct a schedule against a compute DAG built by the caller.
 
     The DAG must describe the same workload the record was produced from
     (matching stage/iterator structure); the sketch is re-generated from the
     stored rule key and tiling depths.
+
+    ``sketch_cache`` (an arbitrary caller-owned dict) memoises the generated
+    sketch lists per (tiling-depth) configuration, so bulk restores — e.g.
+    :meth:`RecordStore.replay` over thousands of log lines — regenerate each
+    sketch list once instead of once per record.
     """
     if data["workload"] != dag.name:
         raise ValueError(
             f"record belongs to workload {data['workload']!r}, not {dag.name!r}"
         )
-    sketches = generate_sketches(
-        dag,
-        spatial_levels=int(data["spatial_levels"]),
-        reduction_levels=int(data["reduction_levels"]),
-    )
+    depths = (int(data["spatial_levels"]), int(data["reduction_levels"]))
+    sketches = None if sketch_cache is None else sketch_cache.get(depths)
+    if sketches is None:
+        sketches = generate_sketches(
+            dag, spatial_levels=depths[0], reduction_levels=depths[1]
+        )
+        if sketch_cache is not None:
+            sketch_cache[depths] = sketches
     matches = [s for s in sketches if s.key == data["sketch_key"]]
     if not matches:
         raise ValueError(
@@ -89,6 +115,7 @@ class TuningRecord:
     history: List[List[float]]
 
     def to_dict(self) -> dict:
+        """JSON-compatible representation of this record."""
         return {
             "workload": self.workload,
             "scheduler": self.scheduler,
@@ -101,6 +128,7 @@ class TuningRecord:
 
     @staticmethod
     def from_dict(data: dict) -> "TuningRecord":
+        """Inverse of :meth:`to_dict`."""
         return TuningRecord(
             workload=data["workload"],
             scheduler=data["scheduler"],
@@ -112,6 +140,7 @@ class TuningRecord:
         )
 
     def restore_schedule(self, dag: ComputeDAG) -> Schedule:
+        """Rebuild the stored best schedule against a caller-provided DAG."""
         if self.schedule is None:
             raise ValueError(f"record for {self.workload!r} holds no schedule")
         return schedule_from_dict(self.schedule, dag)
@@ -157,3 +186,286 @@ def best_record(records: Sequence[TuningRecord], workload: str) -> TuningRecord:
     if not matching:
         raise KeyError(f"no record for workload {workload!r}")
     return min(matching, key=lambda r: r.latency)
+
+
+# --------------------------------------------------------------------- #
+# append-only JSONL record store
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MeasureRecord:
+    """One persisted hardware measurement (one line of the JSONL log).
+
+    Attributes
+    ----------
+    workload:
+        Name of the workload (compute DAG) the schedule belongs to.
+    latency:
+        Measured latency in seconds.
+    throughput:
+        Achieved FLOP/s of the measurement.
+    trial_index:
+        Global trial index the measurement was committed at.
+    schedule:
+        Structural schedule serialisation (see :func:`schedule_to_dict`).
+    scheduler:
+        Optional name of the scheduler that produced the candidate.
+    """
+
+    workload: str
+    latency: float
+    throughput: float
+    trial_index: int
+    schedule: dict
+    scheduler: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of this measurement."""
+        return {
+            "workload": self.workload,
+            "latency": self.latency,
+            "throughput": self.throughput,
+            "trial_index": self.trial_index,
+            "schedule": self.schedule,
+            "scheduler": self.scheduler,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "MeasureRecord":
+        """Inverse of :meth:`to_dict`."""
+        return MeasureRecord(
+            workload=data["workload"],
+            latency=float(data["latency"]),
+            throughput=float(data["throughput"]),
+            trial_index=int(data["trial_index"]),
+            schedule=data["schedule"],
+            scheduler=data.get("scheduler", ""),
+        )
+
+    def restore_schedule(
+        self, dag: ComputeDAG, sketch_cache: Optional[dict] = None
+    ) -> Schedule:
+        """Rebuild the measured schedule against a caller-provided DAG.
+
+        ``sketch_cache`` is forwarded to :func:`schedule_from_dict` to share
+        regenerated sketch lists across bulk restores.
+        """
+        return schedule_from_dict(self.schedule, dag, sketch_cache)
+
+
+class RecordStore:
+    """Append-only JSONL store of measurements and tuning results.
+
+    Each line of the backing file is one JSON object tagged with a ``kind``
+    field: ``"measure"`` lines hold individual :class:`MeasureRecord` entries
+    (written live during tuning), ``"result"`` lines hold final
+    :class:`TuningRecord` summaries.  Appends are flushed immediately so the
+    log survives crashed or killed tuning processes.
+
+    Parameters
+    ----------
+    path:
+        Backing file.  If it already exists its lines are loaded (tolerantly,
+        see ``strict``) and subsequent appends continue the same log, which
+        makes resumed runs accumulate into one file.  ``None`` keeps the
+        store purely in memory.
+    strict:
+        When true, corrupted (non-JSON or structurally invalid) lines raise
+        :class:`ValueError` at load time; when false (the default) they are
+        skipped and counted in :attr:`skipped_lines`.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, strict: bool = False):
+        self.path = Path(path) if path is not None else None
+        self.strict = bool(strict)
+        self.skipped_lines = 0
+        self._measures: List[MeasureRecord] = []
+        self._results: List[TuningRecord] = []
+        self._fh: Optional[IO[str]] = None
+        if self.path is not None and self.path.exists():
+            self._load_lines(self.path.read_text())
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Union[str, Path], strict: bool = False) -> "RecordStore":
+        """Load an existing JSONL log (raises if the file is missing)."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"record store {path} does not exist")
+        return cls(path, strict=strict)
+
+    def _load_lines(self, text: str) -> None:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                kind = data.get("kind")
+                if kind == "measure":
+                    self._measures.append(MeasureRecord.from_dict(data))
+                elif kind == "result":
+                    self._results.append(TuningRecord.from_dict(data))
+                else:
+                    raise ValueError(f"unknown record kind {kind!r}")
+            except (ValueError, KeyError, TypeError) as exc:
+                if self.strict:
+                    raise ValueError(
+                        f"corrupted record at {self.path}:{lineno}: {exc}"
+                    ) from exc
+                self.skipped_lines += 1
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def _write_line(self, payload: dict) -> None:
+        if self.path is None:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(payload) + "\n")
+        self._fh.flush()
+
+    def append_measure(self, record: MeasureRecord) -> None:
+        """Append one measurement record to the log."""
+        self._measures.append(record)
+        self._write_line({"kind": "measure", **record.to_dict()})
+
+    def append_result(self, record: Union[TuningRecord, TuningResult]) -> None:
+        """Append one final tuning result (converted from a result if needed)."""
+        if isinstance(record, TuningResult):
+            record = result_to_record(record)
+        self._results.append(record)
+        self._write_line({"kind": "result", **record.to_dict()})
+
+    def record_measure(self, result, scheduler: str = "") -> None:
+        """Append a live :class:`~repro.hardware.measurer.MeasureResult`.
+
+        This is the hook the measurer calls for every committed measurement;
+        it converts the in-memory result (which holds a live
+        :class:`~repro.tensor.schedule.Schedule`) into its structural
+        serialisation.
+        """
+        self.append_measure(
+            MeasureRecord(
+                workload=result.schedule.dag.name,
+                latency=float(result.latency),
+                throughput=float(result.throughput),
+                trial_index=int(result.trial_index),
+                schedule=schedule_to_dict(result.schedule),
+                scheduler=scheduler,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def measures(self, workload: Optional[str] = None) -> List[MeasureRecord]:
+        """All measurement records, optionally filtered to one workload."""
+        if workload is None:
+            return list(self._measures)
+        return [m for m in self._measures if m.workload == workload]
+
+    def results(self, workload: Optional[str] = None) -> List[TuningRecord]:
+        """All final-result records, optionally filtered to one workload."""
+        if workload is None:
+            return list(self._results)
+        return [r for r in self._results if r.workload == workload]
+
+    def workloads(self) -> List[str]:
+        """Sorted names of all workloads that appear in the store."""
+        names = {m.workload for m in self._measures}
+        names.update(r.workload for r in self._results)
+        return sorted(names)
+
+    def best_measure(self, workload: str) -> MeasureRecord:
+        """The lowest-latency measurement of one workload."""
+        matching = self.measures(workload)
+        if not matching:
+            raise KeyError(f"no measurements for workload {workload!r}")
+        return min(matching, key=lambda m: m.latency)
+
+    def best_latency(self, workload: str) -> float:
+        """Best latency seen for a workload across measures and results."""
+        candidates = [m.latency for m in self.measures(workload)]
+        candidates.extend(r.latency for r in self.results(workload))
+        return min(candidates) if candidates else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._measures) + len(self._results)
+
+    def __iter__(self) -> Iterator[MeasureRecord]:
+        return iter(self._measures)
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def replay(
+        self,
+        dag: ComputeDAG,
+        cost_model=None,
+        measurer=None,
+        max_schedules: Optional[int] = None,
+    ) -> List[Schedule]:
+        """Replay this store's measurements of one workload into a new run.
+
+        Restores every stored schedule of ``dag``'s workload (best first),
+        feeds the (schedule, throughput) pairs back into ``cost_model`` so it
+        warm-starts instead of facing a cold landscape, and preloads
+        ``measurer``'s best-known statistics so resumed runs never report a
+        regression over what the log already contains.
+
+        Parameters
+        ----------
+        dag:
+            Compute DAG of the workload to replay (must structurally match
+            the recorded schedules).
+        cost_model:
+            Optional cost model implementing ``update(schedules, throughputs)``.
+        measurer:
+            Optional measurer implementing ``preload(workload, latency, schedule)``.
+        max_schedules:
+            Cap on how many (best-latency-first) records to replay.
+
+        Returns
+        -------
+        The restored schedules, best latency first.
+        """
+        matching = sorted(self.measures(dag.name), key=lambda m: m.latency)
+        if max_schedules is not None:
+            matching = matching[:max_schedules]
+        schedules: List[Schedule] = []
+        throughputs: List[float] = []
+        best_latency = float("inf")
+        best_schedule: Optional[Schedule] = None
+        sketch_cache: dict = {}  # regenerate each sketch list once, not per record
+        for record in matching:
+            try:
+                schedule = record.restore_schedule(dag, sketch_cache)
+            except ValueError:
+                continue  # sketch shape drifted since the log was written
+            schedules.append(schedule)
+            throughputs.append(record.throughput)
+            if record.latency < best_latency:
+                best_latency = record.latency
+                best_schedule = schedule
+        if cost_model is not None and schedules:
+            cost_model.update(schedules, throughputs)
+        if measurer is not None and best_schedule is not None:
+            measurer.preload(dag.name, best_latency, best_schedule)
+        return schedules
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the backing file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RecordStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""Unit tests for the batched parallel measurement pipeline.
+
+The contract under test: with a fixed seed, a :class:`ParallelMeasurer`
+produces results (latencies, trial accounting, best-schedule statistics,
+progress histories) identical to the serial :class:`Measurer`, regardless of
+worker count or pool mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HARLConfig
+from repro.core.scheduler import HARLScheduler
+from repro.hardware.measurer import Measurer
+from repro.hardware.parallel import ParallelMeasurer
+from repro.tensor.sampler import sample_initial_schedules
+from repro.tensor.sketch import generate_sketches
+from repro.tensor.workloads import conv2d, gemm
+
+
+@pytest.fixture
+def schedules(gemm_sketch, rng):
+    return sample_initial_schedules(gemm_sketch, 16, rng)
+
+
+def _stats_snapshot(measurer, workload):
+    return (
+        measurer.total_trials,
+        measurer.trials(workload),
+        measurer.best_latency(workload),
+        measurer.history(workload),
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_same_latencies(self, cpu, schedules):
+        serial = Measurer(cpu, seed=3).measure(schedules)
+        with ParallelMeasurer(cpu, num_workers=4, seed=3) as pm:
+            parallel = pm.measure(schedules)
+        assert [r.latency for r in serial] == [r.latency for r in parallel]
+        assert [r.repeats for r in serial] == [r.repeats for r in parallel]
+        assert [r.trial_index for r in serial] == [r.trial_index for r in parallel]
+
+    def test_same_statistics(self, cpu, schedules):
+        name = schedules[0].dag.name
+        serial = Measurer(cpu, seed=3)
+        serial.measure(schedules[:7])
+        serial.measure(schedules[7:])
+        with ParallelMeasurer(cpu, num_workers=4, seed=3) as pm:
+            pm.measure(schedules[:7])
+            pm.measure(schedules[7:])
+            assert _stats_snapshot(serial, name) == _stats_snapshot(pm, name)
+
+    def test_worker_count_does_not_matter(self, cpu, schedules):
+        baselines = None
+        for workers in (1, 2, 5):
+            with ParallelMeasurer(cpu, num_workers=workers, seed=9) as pm:
+                latencies = [r.latency for r in pm.measure(schedules)]
+            if baselines is None:
+                baselines = latencies
+            else:
+                assert latencies == baselines
+
+    def test_batch_split_does_not_matter(self, cpu, schedules):
+        whole = Measurer(cpu, seed=1).measure(schedules)
+        with ParallelMeasurer(cpu, num_workers=3, seed=1) as pm:
+            split = pm.measure(schedules[:5]) + pm.measure(schedules[5:])
+        assert [r.latency for r in whole] == [r.latency for r in split]
+
+    def test_process_mode(self, cpu, schedules):
+        serial = Measurer(cpu, seed=2).measure(schedules[:4])
+        with ParallelMeasurer(cpu, num_workers=2, mode="process", seed=2) as pm:
+            parallel = pm.measure(schedules[:4])
+        assert [r.latency for r in serial] == [r.latency for r in parallel]
+
+    def test_unknown_mode_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            ParallelMeasurer(cpu, num_workers=2, mode="rpc")
+
+
+class TestDeterministicNoise:
+    def test_same_seed_same_stream(self, cpu, schedules):
+        first = [r.latency for r in Measurer(cpu, seed=4).measure(schedules)]
+        again = [r.latency for r in Measurer(cpu, seed=4).measure(schedules)]
+        other = [r.latency for r in Measurer(cpu, seed=5).measure(schedules)]
+        assert first == again
+        assert first != other
+
+    def test_remeasuring_same_schedule_draws_fresh_noise(self, cpu, schedules):
+        measurer = Measurer(cpu, noise=0.05, seed=0)
+        first = measurer.measure(schedules[:1])[0]
+        second = measurer.measure(schedules[:1])[0]
+        assert first.latency != second.latency  # different trial index -> new draw
+
+    def test_empty_batch(self, cpu):
+        with ParallelMeasurer(cpu, num_workers=2, seed=0) as pm:
+            assert pm.measure([]) == []
+            assert pm.total_trials == 0
+
+
+class TestSchedulerRegression:
+    """Full tuning runs: serial and parallel measurement must match exactly."""
+
+    def test_harl_serial_vs_parallel_same_best(self, tiny_config, cpu):
+        dag = gemm(128, 128, 128)
+        serial = HARLScheduler(target=cpu, config=tiny_config, seed=0).tune(dag, n_trials=16)
+
+        measurer = ParallelMeasurer(
+            cpu, num_workers=4, seed=0,
+            min_repeat_seconds=tiny_config.min_repeat_seconds,
+        )
+        with measurer:
+            parallel = HARLScheduler(
+                target=cpu, config=tiny_config, seed=0, measurer=measurer
+            ).tune(dag, n_trials=16)
+
+        assert parallel.best_latency == serial.best_latency
+        assert parallel.trials_used == serial.trials_used
+        assert parallel.history == serial.history
+        assert parallel.best_schedule.signature() == serial.best_schedule.signature()
+
+    def test_trial_accounting_identical_across_workloads(self, tiny_config, cpu):
+        dags = [gemm(64, 64, 64), conv2d(14, 14, 16, 16, 3, 1, 1)]
+
+        def run(measurer):
+            scheduler = HARLScheduler(target=cpu, config=tiny_config, seed=5, measurer=measurer)
+            return [scheduler.tune(dag, n_trials=8) for dag in dags]
+
+        serial = run(Measurer(cpu, seed=5, min_repeat_seconds=tiny_config.min_repeat_seconds))
+        with ParallelMeasurer(
+            cpu, num_workers=3, seed=5,
+            min_repeat_seconds=tiny_config.min_repeat_seconds,
+        ) as pm:
+            parallel = run(pm)
+        for s, p in zip(serial, parallel):
+            assert (s.trials_used, s.best_latency) == (p.trials_used, p.best_latency)
+
+
+class TestPreload:
+    def test_preload_sets_best_without_trials(self, cpu, schedules):
+        measurer = Measurer(cpu, seed=0)
+        name = schedules[0].dag.name
+        measurer.preload(name, 1e-3, schedules[0])
+        assert measurer.best_latency(name) == 1e-3
+        assert measurer.best_schedule(name) is schedules[0]
+        assert measurer.trials(name) == 0
+        assert measurer.history(name) == []
+
+    def test_preload_keeps_better_existing(self, cpu, schedules):
+        measurer = Measurer(cpu, seed=0)
+        name = schedules[0].dag.name
+        measurer.preload(name, 1e-6, schedules[0])
+        measurer.preload(name, 1e-3, schedules[1])
+        assert measurer.best_latency(name) == 1e-6
+        assert measurer.best_schedule(name) is schedules[0]

@@ -59,3 +59,61 @@ class TestCommands:
         assert code == 0
         assert "bert_base_b1" in out
         assert "end-to-end latency" in out
+
+
+class TestMeasurementPipelineFlags:
+    def test_num_workers_matches_serial(self, capsys):
+        base = ["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--num-workers", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out  # identical table incl. best latency
+
+    def test_records_out_and_resume(self, capsys, tmp_path):
+        from repro.records import RecordStore
+
+        log = tmp_path / "records.jsonl"
+        base = ["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05"]
+        assert main(base + ["--records-out", str(log)]) == 0
+        capsys.readouterr()
+        store = RecordStore.load(log)
+        assert len(store.measures()) == 8
+        assert len(store.results()) == 1
+
+        assert main(base + ["--resume-from", str(log),
+                            "--records-out", str(log)]) == 0
+        assert len(RecordStore.load(log).measures()) == 16
+
+    def test_compare_records_dir(self, capsys, tmp_path):
+        from repro.records import RecordStore
+
+        code = main(["compare", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                     "--records-out", str(tmp_path / "cmp")])
+        assert code == 0
+        for name in ("harl", "ansor"):
+            store = RecordStore.load(tmp_path / "cmp" / f"{name}.jsonl")
+            assert len(store.measures()) == 8
+            assert len(store.results()) == 1  # final result line lands in the log
+
+    def test_resume_works_for_baseline_schedulers(self, capsys, tmp_path):
+        log = tmp_path / "ansor.jsonl"
+        base = ["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                "--scheduler", "ansor"]
+        assert main(base + ["--records-out", str(log)]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume-from", str(log)]) == 0
+        second = capsys.readouterr().out
+
+        def best_latency(out):
+            return float(out.splitlines()[2].split()[2])
+
+        # the resumed run starts from the recorded best, so it cannot regress
+        assert best_latency(second) <= best_latency(first)
+
+    def test_resume_from_missing_file_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune-op", "--op", "GEMM-S", "--trials", "8",
+                  "--resume-from", "does-not-exist.jsonl"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
