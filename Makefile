@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-full
+.PHONY: test bench bench-smoke bench-full serve-demo
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -22,3 +22,8 @@ bench:
 ## Paper-scale budgets (slow; see benchmarks/conftest.py).
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks -q
+
+## Walk the serving subsystem: request coalescing, registry hits, transfer
+## warm starts (see examples/serving_demo.py).
+serve-demo:
+	$(PYTHON) examples/serving_demo.py

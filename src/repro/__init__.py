@@ -24,6 +24,12 @@ from repro.baselines import AnsorScheduler, FlextensorScheduler, SimulatedAnneal
 from repro.records import MeasureRecord, RecordStore, TuningRecord, load_records, save_records
 from repro.hardware import HardwareTarget, Measurer, ParallelMeasurer, cpu_target, gpu_target
 from repro.costmodel import ScheduleCostModel
+from repro.serving import (
+    ScheduleRegistry,
+    TuningRequest,
+    TuningService,
+    structural_fingerprint,
+)
 from repro.networks import NetworkGraph, Subgraph, build_bert, build_mobilenet_v2, build_resnet50
 from repro.tensor import (
     ComputeDAG,
@@ -57,6 +63,10 @@ __all__ = [
     "RecordStore",
     "Schedule",
     "ScheduleCostModel",
+    "ScheduleRegistry",
+    "TuningRequest",
+    "TuningService",
+    "structural_fingerprint",
     "SimulatedAnnealingScheduler",
     "Sketch",
     "Subgraph",

@@ -73,6 +73,7 @@ class AnsorScheduler:
         alpha: float = 0.2,
         beta: float = 2.0,
         record_store=None,
+        warm_start_provider=None,
     ):
         self.target = target or cpu_target()
         self.config = config or AnsorConfig()
@@ -85,11 +86,15 @@ class AnsorScheduler:
         self.record_store = record_store
         if record_store is not None and self.measurer.record_store is None:
             self.measurer.record_store = record_store
+        self.warm_start_provider = warm_start_provider
         self._resume_store = None
         self._resumed: set = set()
+        self._warm_started: set = set()
+        self._pending_warm: Dict[str, List[Schedule]] = {}
         self._search_steps: Dict[str, int] = {}
         self._best_schedules: Dict[str, List[Schedule]] = {}
         self._rounds: Dict[str, int] = {}
+        self._sketch_lists: Dict[str, List[Sketch]] = {}
 
     # ------------------------------------------------------------------ #
     def resume_from(self, store) -> "AnsorScheduler":
@@ -114,15 +119,32 @@ class AnsorScheduler:
         if restored:
             self._best_schedules[dag.name] = list(reversed(restored[:8]))
 
+    def _maybe_warm_start(self, dag: ComputeDAG) -> None:
+        """Queue transferred (registry) schedules for direct measurement."""
+        if self.warm_start_provider is None or dag.name in self._warm_started:
+            return
+        self._warm_started.add(dag.name)
+        seeds = list(self.warm_start_provider(dag) or [])
+        if seeds:
+            self._pending_warm[dag.name] = seeds
+
+    def _sketches(self, dag: ComputeDAG) -> List[Sketch]:
+        sketches = self._sketch_lists.get(dag.name)
+        if sketches is None:
+            sketches = generate_sketches(
+                dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
+            )
+            self._sketch_lists[dag.name] = sketches
+        return sketches
+
     # ------------------------------------------------------------------ #
     def tune(self, dag: ComputeDAG, n_trials: int) -> TuningResult:
         """Tune a single operator within a measurement-trial budget."""
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
         self._maybe_replay(dag)
-        sketches = generate_sketches(
-            dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
-        )
+        self._maybe_warm_start(dag)
+        sketches = self._sketches(dag)
         start_trials = self.measurer.trials(dag.name)
         while self.measurer.trials(dag.name) - start_trials < n_trials:
             remaining = n_trials - (self.measurer.trials(dag.name) - start_trials)
@@ -136,6 +158,24 @@ class AnsorScheduler:
         self, dag: ComputeDAG, sketches: List[Sketch], max_measures: Optional[int] = None
     ) -> float:
         """One round: uniform sketch choice, evolutionary search, measure top-K."""
+        pending = self._pending_warm.get(dag.name)
+        if pending:
+            # Transferred schedules are measured directly (one batch) before
+            # the evolutionary search starts, mirroring HARL's warm start.
+            budget = len(pending) if max_measures is None else min(len(pending), max_measures)
+            batch = pending[:budget]
+            self._pending_warm[dag.name] = pending[budget:]
+            results = self.measurer.measure(batch)
+            self.cost_model.update(
+                [r.schedule for r in results], [r.throughput for r in results]
+            )
+            if results:
+                best = min(results, key=lambda r: r.latency)
+                bucket = self._best_schedules.setdefault(dag.name, [])
+                bucket.append(best.schedule)
+                del bucket[:-8]
+                return best.latency
+            return float("inf")
         cfg = self.config
         sketch = sketches[int(self._rng.integers(0, len(sketches)))]
         search = EvolutionarySearch(
@@ -165,6 +205,28 @@ class AnsorScheduler:
             del bucket[:-8]
             return best.latency
         return float("inf")
+
+    def tune_round(self, dag: ComputeDAG, max_measures: Optional[int] = None) -> int:
+        """Run one incremental tuning round; returns trials consumed.
+
+        The incremental counterpart of :meth:`tune`, used by the
+        multi-tenant :class:`~repro.serving.service.TuningService` to
+        interleave rounds of several jobs under one budget allocator.
+        """
+        if max_measures is not None and max_measures <= 0:
+            return 0
+        self._maybe_replay(dag)
+        self._maybe_warm_start(dag)
+        before = self.measurer.trials(dag.name)
+        self._run_round(dag, self._sketches(dag), max_measures=max_measures)
+        return self.measurer.trials(dag.name) - before
+
+    def finalize(self, dag: ComputeDAG) -> TuningResult:
+        """Build (and persist) the current tuning result of one workload."""
+        result = self._build_result(dag)
+        if self.record_store is not None:
+            self.record_store.append_result(result)
+        return result
 
     def _build_result(self, dag: ComputeDAG) -> TuningResult:
         best_latency = self.measurer.best_latency(dag.name)
@@ -197,6 +259,7 @@ class AnsorScheduler:
 
         for sg in network:
             self._maybe_replay(sg.dag)
+            self._maybe_warm_start(sg.dag)
         while self.measurer.total_trials - start_trials < n_trials:
             remaining = n_trials - (self.measurer.total_trials - start_trials)
             task_name = task_scheduler.next_task()

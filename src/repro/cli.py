@@ -1,11 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three sub-commands cover the common workflows:
+Six sub-commands cover the common workflows:
 
 * ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
 * ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end.
 * ``compare``      — head-to-head HARL vs. Ansor on one operator, printing the
   paper's normalized performance / search-time metrics.
+* ``serve``        — run a batch of (possibly duplicate) tuning requests
+  through the multi-tenant tuning service with registry reuse.
+* ``query``        — look a workload up in the schedule registry (exact hit
+  plus nearest structural relatives).
+* ``registry``     — maintain the registry: ``stats``, ``export``,
+  ``import``, ``compact``.
 
 All latencies come from the simulated hardware targets.
 """
@@ -13,6 +19,7 @@ All latencies come from the simulated hardware targets.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -27,6 +34,9 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import compare_on_operator, make_measurer
 from repro.hardware.target import cpu_target, gpu_target
 from repro.records import RecordStore
+from repro.serving.fingerprint import structural_fingerprint
+from repro.serving.registry import ScheduleRegistry
+from repro.serving.service import TuningRequest, TuningService
 from repro.tensor.lowering import lower_schedule
 
 __all__ = ["main", "build_parser"]
@@ -52,7 +62,14 @@ measurement pipeline flags (available on every sub-command):
   For `compare`, --records-out names a directory instead: each competing
   scheduler writes its own <scheduler>.jsonl log there (no cross-talk), and
   --resume-from is ignored (comparisons always start from scratch so the
-  head-to-head stays fair).
+  head-to-head stays fair).  `serve` also ignores --resume-from: service
+  jobs warm-start from the registry, not from record logs.
+
+  --registry DIR    Use the persistent schedule registry at DIR: tuning runs
+                    record their best schedules into it (keyed by canonical
+                    structural fingerprint + hardware target) and are
+                    warm-started from exact hits / nearest structural
+                    relatives already registered there.
 
 examples:
 
@@ -61,21 +78,28 @@ examples:
   python -m repro tune-op --op GEMM-L --trials 200 \\
       --resume-from logs/gemm.jsonl --records-out logs/gemm.jsonl
   python -m repro compare --op C2D --batch 16 --num-workers 4
+  python -m repro tune-op --op GEMM-L --trials 200 --registry registry/
+  python -m repro serve --registry registry/ --trials 64
+  python -m repro query --registry registry/ --op GEMM-L
+  python -m repro registry stats --registry registry/
 """
 
 
 def _make_scheduler(name: str, target, config: HARLConfig, seed: int,
-                    measurer=None, record_store=None):
+                    measurer=None, record_store=None, warm_start_provider=None):
     if name == "harl":
         return HARLScheduler(target=target, config=config, seed=seed,
-                             measurer=measurer, record_store=record_store)
+                             measurer=measurer, record_store=record_store,
+                             warm_start_provider=warm_start_provider)
     if name == "hierarchical-rl":
         return HARLScheduler(target=target, config=config, seed=seed,
                              adaptive_stopping=False,
-                             measurer=measurer, record_store=record_store)
+                             measurer=measurer, record_store=record_store,
+                             warm_start_provider=warm_start_provider)
     if name == "ansor":
         return AnsorScheduler(target=target, config=AnsorConfig.from_harl(config),
-                              seed=seed, measurer=measurer, record_store=record_store)
+                              seed=seed, measurer=measurer, record_store=record_store,
+                              warm_start_provider=warm_start_provider)
     if name == "flextensor":
         return FlextensorScheduler(target=target, config=config, seed=seed,
                                    measurer=measurer, record_store=record_store)
@@ -108,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume-from", metavar="FILE", default=None,
                        help="warm-start from a JSONL record log written by "
                             "--records-out")
+        p.add_argument("--registry", metavar="DIR", default=None,
+                       help="persistent schedule registry directory: record "
+                            "best schedules into it and warm-start from it")
 
     op = sub.add_parser("tune-op", help="tune one Table 6 operator class",
                         epilog=_EPILOG,
@@ -133,6 +160,39 @@ def build_parser() -> argparse.ArgumentParser:
     common(cmp)
     cmp.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
     cmp.add_argument("--batch", type=int, default=1)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run tuning requests through the multi-tenant service",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(srv)
+    srv.add_argument("--scheduler", choices=("harl", "hierarchical-rl", "ansor"),
+                     default="harl")
+    srv.add_argument("--requests", metavar="FILE", default=None,
+                     help="JSON file with a list of requests "
+                          '[{"op": ..., "batch": ..., "trials": ..., '
+                          '"tenant": ...}, ...]; omit for a built-in demo '
+                          "batch with duplicate + novel workloads")
+
+    qry = sub.add_parser("query", help="look a workload up in the registry",
+                         epilog=_EPILOG,
+                         formatter_class=argparse.RawDescriptionHelpFormatter)
+    qry.add_argument("--registry", metavar="DIR", required=True)
+    qry.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
+    qry.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
+    qry.add_argument("--batch", type=int, default=1)
+    qry.add_argument("--neighbors", type=int, default=3,
+                     help="how many nearest structural relatives to list")
+
+    reg = sub.add_parser("registry", help="registry maintenance",
+                         epilog=_EPILOG,
+                         formatter_class=argparse.RawDescriptionHelpFormatter)
+    reg.add_argument("action", choices=("stats", "export", "import", "compact"))
+    reg.add_argument("--registry", metavar="DIR", required=True)
+    reg.add_argument("--file", metavar="FILE", default=None,
+                     help="JSONL file for export / import")
 
     return parser
 
@@ -161,16 +221,32 @@ def _build_pipeline(args, target, config: HARLConfig):
     return measurer, record_store, resume_store
 
 
+def _open_registry(args) -> Optional[ScheduleRegistry]:
+    registry_dir = getattr(args, "registry", None)
+    return ScheduleRegistry(registry_dir) if registry_dir else None
+
+
+def _warm_start_provider(registry: Optional[ScheduleRegistry], target):
+    if registry is None:
+        return None
+    return lambda dag: registry.warm_start_schedules(dag, target)
+
+
 def _cmd_tune_op(args) -> int:
     target = _resolve_target(args.target)
     config = HARLConfig.scaled(args.scale)
     measurer, record_store, resume_store = _build_pipeline(args, target, config)
+    registry = _open_registry(args)
     scheduler = _make_scheduler(args.scheduler, target, config, args.seed,
-                                measurer=measurer, record_store=record_store)
+                                measurer=measurer, record_store=record_store,
+                                warm_start_provider=_warm_start_provider(registry, target))
     if resume_store is not None and hasattr(scheduler, "resume_from"):
         scheduler.resume_from(resume_store)
     dag = representative_dag(args.op, batch=args.batch)
     result = scheduler.tune(dag, n_trials=args.trials)
+    if registry is not None:
+        registry.record_result(dag, target, result, source=f"cli:{args.scheduler}")
+        registry.close()
     print(format_table(
         ["workload", "scheduler", "best latency (ms)", "TFLOP/s", "trials"],
         [[dag.name, result.scheduler, result.best_latency * 1e3,
@@ -189,12 +265,21 @@ def _cmd_tune_network(args) -> int:
     target = _resolve_target(args.target)
     config = HARLConfig.scaled(args.scale)
     measurer, record_store, resume_store = _build_pipeline(args, target, config)
+    registry = _open_registry(args)
     scheduler = _make_scheduler(args.scheduler, target, config, args.seed,
-                                measurer=measurer, record_store=record_store)
+                                measurer=measurer, record_store=record_store,
+                                warm_start_provider=_warm_start_provider(registry, target))
     if resume_store is not None and hasattr(scheduler, "resume_from"):
         scheduler.resume_from(resume_store)
     network = build_network(args.network, batch_size=args.batch)
     result = scheduler.tune_network(network, n_trials=args.trials)
+    if registry is not None:
+        for sg in network:
+            task_result = result.task_results.get(sg.name)
+            if task_result is not None:
+                registry.record_result(sg.dag, target, task_result,
+                                       source=f"cli:{args.scheduler}")
+        registry.close()
     rows = [
         [name, result.allocations.get(name, 0), res.best_latency * 1e3]
         for name, res in sorted(result.task_results.items())
@@ -216,7 +301,7 @@ def _cmd_compare(args) -> int:
     comparison = compare_on_operator(
         dag, n_trials=args.trials, target=target, config=config, seed=args.seed,
         schedulers=("ansor", "harl"), num_workers=args.num_workers,
-        records_dir=args.records_out,
+        records_dir=args.records_out, registry=args.registry,
     )
     perf = comparison.normalized_performance()
     times = comparison.normalized_search_time()
@@ -231,6 +316,127 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _demo_requests(trials: int, scheduler: str):
+    """Built-in serve demo: duplicate GEMMs from two tenants plus a novel op."""
+    specs = [
+        ("GEMM-S", 1, "tenant-a"),
+        ("GEMM-S", 1, "tenant-b"),   # structural duplicate → coalesces
+        ("C1D", 1, "tenant-a"),      # novel workload → its own job
+    ]
+    return [
+        TuningRequest(dag=representative_dag(op, batch=batch), n_trials=trials,
+                      scheduler=scheduler, tenant=tenant)
+        for op, batch, tenant in specs
+    ]
+
+
+def _load_requests(path: str, default_trials: int, scheduler: str):
+    from pathlib import Path
+
+    specs = json.loads(Path(path).read_text(encoding="utf-8"))
+    requests = []
+    for spec in specs:
+        requests.append(TuningRequest(
+            dag=representative_dag(spec["op"], batch=int(spec.get("batch", 1))),
+            n_trials=int(spec.get("trials", default_trials)),
+            scheduler=spec.get("scheduler", scheduler),
+            tenant=spec.get("tenant", "default"),
+            force_tune=bool(spec.get("force_tune", False)),
+        ))
+    return requests
+
+
+def _cmd_serve(args) -> int:
+    target = _resolve_target(args.target)
+    config = HARLConfig.scaled(args.scale)
+    registry = _open_registry(args)
+    if registry is None:  # explicit: an *empty* registry is falsy (len == 0)
+        registry = ScheduleRegistry()
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    service = TuningService(
+        registry=registry, target=target, config=config, seed=args.seed,
+        record_store=record_store, num_workers=args.num_workers,
+    )
+    if args.requests:
+        requests = _load_requests(args.requests, args.trials, args.scheduler)
+    else:
+        requests = _demo_requests(args.trials, args.scheduler)
+    handles = service.process(requests)
+    rows = [
+        [h.request.dag.name, h.request.tenant, h.source,
+         h.result.best_latency * 1e3, h.result.trials_used]
+        for h in handles
+    ]
+    print(format_table(
+        ["workload", "tenant", "source", "best latency (ms)", "trials"],
+        rows, title=f"tuning service on {target.name}",
+    ))
+    print(f"\njobs created: {service.jobs_created}, "
+          f"coalesced: {service.coalesced_requests}, "
+          f"registry hits: {service.registry_hits}; "
+          f"registry now holds {len(registry)} entries")
+    if record_store is not None:
+        record_store.close()
+    registry.close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    target = _resolve_target(args.target)
+    registry = ScheduleRegistry(args.registry)
+    dag = representative_dag(args.op, batch=args.batch)
+    fingerprint = structural_fingerprint(dag)
+    print(f"workload:    {dag.name}")
+    print(f"fingerprint: {fingerprint[:16]}… on {target.name}")
+    exact = registry.get(fingerprint, target)
+    if exact is not None:
+        print(f"exact hit:   {exact.latency * 1e3:.3f} ms "
+              f"({exact.scheduler}, {exact.trials} trials, "
+              f"source={exact.source or 'n/a'})")
+    else:
+        print("exact hit:   none")
+    neighbors = registry.nearest(dag, target, k=args.neighbors)
+    if neighbors:
+        rows = [
+            [entry.workload, f"{distance:.3f}", entry.latency * 1e3, entry.scheduler]
+            for distance, entry in neighbors
+        ]
+        print()
+        print(format_table(
+            ["nearest relative", "distance", "best latency (ms)", "scheduler"], rows,
+        ))
+    registry.close()
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    registry = ScheduleRegistry(args.registry)
+    if args.action == "stats":
+        stats = registry.stats()
+        for key in ("entries", "workloads", "targets", "shard_files",
+                    "total_lines", "stale_lines", "skipped_lines"):
+            print(f"{key:>14}: {stats[key]}")
+    elif args.action == "export":
+        if not args.file:
+            print("error: registry export needs --file", file=sys.stderr)
+            return 2
+        path = registry.export_file(args.file)
+        print(f"exported {len(registry)} entries to {path}")
+    elif args.action == "import":
+        if not args.file:
+            print("error: registry import needs --file", file=sys.stderr)
+            return 2
+        accepted = registry.import_file(args.file, source=f"import:{args.file}")
+        print(f"imported {accepted} improved entries from {args.file} "
+              f"({len(registry)} total)")
+    elif args.action == "compact":
+        removed = registry.compact()
+        print(f"compacted: removed {removed} stale lines, "
+              f"{len(registry)} entries kept")
+    registry.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tune-op":
@@ -239,6 +445,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tune_network(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     raise KeyError(args.command)
 
 

@@ -59,6 +59,9 @@ class _TaskContext:
         self.agents: Dict[int, PPOAgent] = {}
         self.searchers: Dict[int, ParameterSearcher] = {}
         self.best_schedules: List[Schedule] = []
+        #: Transferred schedules (from a registry / warm-start provider) that
+        #: should be measured directly before regular search rounds begin.
+        self.pending_warm_start: List[Schedule] = []
         self.critical_positions: List[float] = []
         self.track_lengths: List[int] = []
         self.episodes = 0
@@ -91,6 +94,13 @@ class HARLScheduler:
         measurement is streamed to the store's JSONL log as it happens and
         each final tuning result is appended on completion, so the run is
         resumable via :meth:`resume_from`.
+    warm_start_provider:
+        Optional callable ``provider(dag) -> Sequence[Schedule]`` consulted
+        the first time each workload is tuned (e.g.
+        :meth:`~repro.serving.registry.ScheduleRegistry.warm_start_schedules`).
+        The returned schedules are measured directly before regular search
+        rounds start, which both seeds the episode warm starts and teaches
+        the cost model the transferred knowledge.
     """
 
     name = "harl"
@@ -106,6 +116,7 @@ class HARLScheduler:
         cost_model: Optional[ScheduleCostModel] = None,
         measurer: Optional[Measurer] = None,
         record_store=None,
+        warm_start_provider=None,
     ):
         self.target = target or cpu_target()
         self.config = config or HARLConfig()
@@ -121,6 +132,7 @@ class HARLScheduler:
         self.record_store = record_store
         if record_store is not None and self.measurer.record_store is None:
             self.measurer.record_store = record_store
+        self.warm_start_provider = warm_start_provider
         self._resume_store = None
         self._tasks: Dict[str, _TaskContext] = {}
 
@@ -158,6 +170,8 @@ class HARLScheduler:
                 )
                 # Best recorded schedules become episode warm starts.
                 ctx.best_schedules = list(reversed(restored[:4]))
+            if self.warm_start_provider is not None:
+                ctx.pending_warm_start = list(self.warm_start_provider(dag) or [])
         return ctx
 
     def _make_stopper(self):
@@ -210,13 +224,71 @@ class HARLScheduler:
         self._persist_result(result)
         return result
 
+    def tune_round(self, dag: ComputeDAG, max_measures: Optional[int] = None) -> int:
+        """Run one incremental tuning round; returns trials consumed.
+
+        This is the unit of work the multi-tenant
+        :class:`~repro.serving.service.TuningService` interleaves across
+        jobs: one sketch-bandit choice plus one parameter-search episode
+        (or a warm-start measurement batch), bounded by ``max_measures``.
+        Call :meth:`finalize` once the caller's budget is exhausted.
+        """
+        if max_measures is not None and max_measures <= 0:
+            return 0
+        ctx = self._task(dag)
+        before = self.measurer.trials(dag.name)
+        self._run_round(ctx, max_measures=max_measures)
+        return self.measurer.trials(dag.name) - before
+
+    def finalize(self, dag: ComputeDAG) -> TuningResult:
+        """Build (and persist) the current tuning result of one workload."""
+        result = self._build_result(self._task(dag))
+        self._persist_result(result)
+        return result
+
     def _persist_result(self, result: TuningResult) -> None:
         """Append a final tuning result to the record store, if one is attached."""
         if self.record_store is not None:
             self.record_store.append_result(result)
 
+    def _consume_warm_start(
+        self, ctx: _TaskContext, max_measures: Optional[int] = None
+    ) -> EpisodeResult:
+        """Measure pending transferred schedules as one direct batch.
+
+        Transferred (registry) schedules skip the search entirely: they are
+        measured immediately, their outcomes train the cost model, and the
+        best of them seeds the episode warm starts — so a warm-started run
+        reaches its donor's quality within the first few trials.
+        """
+        budget = len(ctx.pending_warm_start)
+        if max_measures is not None:
+            budget = min(budget, max_measures)
+        batch = ctx.pending_warm_start[:budget]
+        ctx.pending_warm_start = ctx.pending_warm_start[budget:]
+        results = self.measurer.measure(batch)
+        self.cost_model.update(
+            [r.schedule for r in results], [r.throughput for r in results]
+        )
+        if results:
+            best = min(results, key=lambda r: r.latency)
+            ctx.best_schedules.append(best.schedule)
+            ctx.best_schedules = ctx.best_schedules[-8:]
+        latencies = [r.latency for r in results]
+        return EpisodeResult(
+            measured=results,
+            best_latency=float(min(latencies)) if latencies else float("inf"),
+            best_throughput=float(max(r.throughput for r in results)) if results else 0.0,
+            num_steps=0,
+            num_visited=len(results),
+            track_lengths=[],
+            critical_positions=[],
+        )
+
     def _run_round(self, ctx: _TaskContext, max_measures: Optional[int] = None) -> EpisodeResult:
         """One tuning round: pick a sketch, run one parameter-search episode."""
+        if ctx.pending_warm_start:
+            return self._consume_warm_start(ctx, max_measures)
         if self.use_sketch_mab:
             sketch_index = ctx.sketch_mab.select()
         else:

@@ -6,6 +6,10 @@ operator comparisons; Fig. 8/9/10 and Table 4 all derive from the BERT
 end-to-end runs).  The helpers here memoise comparison runs inside one Python
 process so each underlying tuning run happens exactly once per benchmark
 session, regardless of how many benches consume it.
+
+Cache keys identify workloads by their **canonical structural fingerprint**
+(:func:`repro.serving.fingerprint.structural_fingerprint`), not by display
+name, so renamed-but-structurally-identical DAGs share one cache entry.
 """
 
 from __future__ import annotations
@@ -22,13 +26,17 @@ from repro.experiments.runner import (
 )
 from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
 from repro.networks.bert import build_bert
+from repro.networks.graph import NetworkGraph
 from repro.networks.mobilenet import build_mobilenet_v2
 from repro.networks.resnet import build_resnet50
+from repro.serving.fingerprint import structural_fingerprint
+from repro.tensor.dag import ComputeDAG
 
 __all__ = [
     "bench_config",
     "cached_operator_comparison",
     "cached_network_comparison",
+    "comparison_cache_key",
     "clear_cache",
     "resolve_target",
     "build_network",
@@ -68,6 +76,30 @@ def build_network(name: str, batch_size: int = 1):
     return builders[name](batch_size=batch_size)
 
 
+def comparison_cache_key(
+    workload,
+    n_trials: int,
+    target_name: str,
+    schedulers: Sequence[str],
+    seed: int,
+) -> Tuple:
+    """Structural cache key of one comparison run.
+
+    ``workload`` is a :class:`ComputeDAG` or a :class:`NetworkGraph`; either
+    way its identity is the canonical fingerprint(s) of its DAG(s), so two
+    differently-named but structurally identical workloads share an entry.
+    """
+    if isinstance(workload, ComputeDAG):
+        identity: Tuple = (structural_fingerprint(workload),)
+    elif isinstance(workload, NetworkGraph):
+        identity = tuple(
+            (structural_fingerprint(sg.dag), sg.weight) for sg in workload
+        )
+    else:
+        raise TypeError(f"unsupported workload type {type(workload).__name__}")
+    return identity + (n_trials, target_name, tuple(schedulers), seed)
+
+
 def cached_operator_comparison(
     op_class: str,
     batch: int,
@@ -78,9 +110,9 @@ def cached_operator_comparison(
     config: Optional[HARLConfig] = None,
 ) -> OperatorComparison:
     """Run (or reuse) a scheduler comparison on one Table 6 operator class."""
-    key = (op_class, batch, n_trials, target_name, tuple(schedulers), seed)
+    dag = representative_dag(op_class, batch=batch)
+    key = comparison_cache_key(dag, n_trials, target_name, schedulers, seed)
     if key not in _OPERATOR_CACHE:
-        dag = representative_dag(op_class, batch=batch)
         _OPERATOR_CACHE[key] = compare_on_operator(
             dag,
             n_trials=n_trials,
@@ -102,9 +134,9 @@ def cached_network_comparison(
     config: Optional[HARLConfig] = None,
 ) -> NetworkComparison:
     """Run (or reuse) an end-to-end network comparison."""
-    key = (network_name, batch, n_trials, target_name, tuple(schedulers), seed)
+    network = build_network(network_name, batch_size=batch)
+    key = comparison_cache_key(network, n_trials, target_name, schedulers, seed)
     if key not in _NETWORK_CACHE:
-        network = build_network(network_name, batch_size=batch)
         _NETWORK_CACHE[key] = compare_on_network(
             network,
             n_trials=n_trials,

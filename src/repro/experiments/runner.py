@@ -32,7 +32,39 @@ __all__ = [
     "compare_on_network",
     "default_trials",
     "make_measurer",
+    "resolve_registry",
 ]
+
+
+#: Session-scoped registries opened by path, so repeated comparison calls
+#: (one benchmark session runs dozens) reuse one instance — one shard load,
+#: one set of append handles — instead of re-reading the directory per call.
+_REGISTRY_INSTANCES: Dict[str, object] = {}
+
+
+def resolve_registry(registry=None):
+    """Resolve the schedule registry a benchmark run should populate.
+
+    An explicit :class:`~repro.serving.registry.ScheduleRegistry` (or path)
+    wins; otherwise the ``REPRO_REGISTRY`` environment variable names the
+    registry directory, and when neither is set no registry is populated.
+    Path-named registries are opened once per process and cached.  Every
+    comparison run records its per-scheduler best results as a side effect,
+    so benchmark sessions grow the shared schedule database.
+    """
+    from repro.serving.registry import ScheduleRegistry
+
+    if registry is None:
+        env = os.environ.get("REPRO_REGISTRY", "")
+        if not env:
+            return None
+        registry = env
+    if isinstance(registry, (str, Path)):
+        key = str(Path(registry).resolve())
+        if key not in _REGISTRY_INSTANCES:
+            _REGISTRY_INSTANCES[key] = ScheduleRegistry(registry)
+        return _REGISTRY_INSTANCES[key]
+    return registry
 
 
 def default_trials(paper_trials: int, fallback: int) -> int:
@@ -164,6 +196,7 @@ def compare_on_operator(
     schedulers: Sequence[str] = ("ansor", "harl"),
     num_workers: int = 1,
     records_dir: Optional[Union[str, Path]] = None,
+    registry=None,
 ) -> OperatorComparison:
     """Tune one operator with every requested scheduler under the same budget.
 
@@ -176,9 +209,15 @@ def compare_on_operator(
     records_dir:
         When set, each scheduler streams its measurements to
         ``<records_dir>/<scheduler>.jsonl``.
+    registry:
+        Optional :class:`~repro.serving.registry.ScheduleRegistry` (or its
+        directory path) to populate with every competitor's best result; the
+        ``REPRO_REGISTRY`` environment variable supplies a default, so
+        benchmark runs grow the shared schedule database as a side effect.
     """
     target = target or cpu_target()
     config = config or HARLConfig.scaled()
+    registry = resolve_registry(registry)
     factories = _default_factories(
         target, config, seed, schedulers, num_workers=num_workers, records_dir=records_dir
     )
@@ -186,6 +225,8 @@ def compare_on_operator(
     for name in schedulers:
         scheduler = factories[name]()
         results[name] = scheduler.tune(dag, n_trials)
+        if registry is not None:
+            registry.record_result(dag, target, results[name], source=f"runner:{name}")
     return OperatorComparison(dag_name=dag.name, results=results)
 
 
@@ -198,14 +239,17 @@ def compare_on_network(
     schedulers: Sequence[str] = ("ansor", "harl"),
     num_workers: int = 1,
     records_dir: Optional[Union[str, Path]] = None,
+    registry=None,
 ) -> NetworkComparison:
     """Tune one network end-to-end with every requested scheduler.
 
-    ``num_workers`` and ``records_dir`` behave as in
-    :func:`compare_on_operator`.
+    ``num_workers``, ``records_dir`` and ``registry`` behave as in
+    :func:`compare_on_operator`; every subgraph's best result lands in the
+    registry.
     """
     target = target or cpu_target()
     config = config or HARLConfig.scaled()
+    registry = resolve_registry(registry)
     factories = _default_factories(
         target, config, seed, schedulers, num_workers=num_workers, records_dir=records_dir
     )
@@ -213,4 +257,11 @@ def compare_on_network(
     for name in schedulers:
         scheduler = factories[name]()
         results[name] = scheduler.tune_network(network, n_trials)
+        if registry is not None:
+            for sg in network:
+                task_result = results[name].task_results.get(sg.name)
+                if task_result is not None:
+                    registry.record_result(
+                        sg.dag, target, task_result, source=f"runner:{name}"
+                    )
     return NetworkComparison(network_name=network.name, results=results)

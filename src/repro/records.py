@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import IO, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.tuner import TuningResult
+from repro.serving.fingerprint import structural_fingerprint
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
 from repro.tensor.sketch import generate_sketches
@@ -62,7 +63,8 @@ def schedule_to_dict(schedule: Schedule) -> dict:
 
 
 def schedule_from_dict(
-    data: dict, dag: ComputeDAG, sketch_cache: Optional[dict] = None
+    data: dict, dag: ComputeDAG, sketch_cache: Optional[dict] = None,
+    check_workload: bool = True,
 ) -> Schedule:
     """Reconstruct a schedule against a compute DAG built by the caller.
 
@@ -74,8 +76,13 @@ def schedule_from_dict(
     sketch lists per (tiling-depth) configuration, so bulk restores — e.g.
     :meth:`RecordStore.replay` over thousands of log lines — regenerate each
     sketch list once instead of once per record.
+
+    ``check_workload=False`` skips the display-name equality check; callers
+    that already matched identities structurally (canonical fingerprints —
+    the schedule registry, fingerprint-routed replay) use it to restore
+    records onto renamed-but-identical DAGs.
     """
-    if data["workload"] != dag.name:
+    if check_workload and data["workload"] != dag.name:
         raise ValueError(
             f"record belongs to workload {data['workload']!r}, not {dag.name!r}"
         )
@@ -104,7 +111,13 @@ def schedule_from_dict(
 
 @dataclass(frozen=True)
 class TuningRecord:
-    """One persisted tuning outcome: the best schedule found for a workload."""
+    """One persisted tuning outcome: the best schedule found for a workload.
+
+    ``fingerprint`` is the canonical structural identity of the workload
+    (see :func:`repro.serving.fingerprint.structural_fingerprint`); it lets
+    renamed-but-identical DAGs share records.  Legacy records without one
+    fall back to display-name matching.
+    """
 
     workload: str
     scheduler: str
@@ -113,6 +126,7 @@ class TuningRecord:
     trials_used: int
     schedule: Optional[dict]
     history: List[List[float]]
+    fingerprint: str = ""
 
     def to_dict(self) -> dict:
         """JSON-compatible representation of this record."""
@@ -124,6 +138,7 @@ class TuningRecord:
             "trials_used": self.trials_used,
             "schedule": self.schedule,
             "history": self.history,
+            "fingerprint": self.fingerprint,
         }
 
     @staticmethod
@@ -137,13 +152,19 @@ class TuningRecord:
             trials_used=int(data["trials_used"]),
             schedule=data.get("schedule"),
             history=[list(map(float, pair)) for pair in data.get("history", [])],
+            fingerprint=data.get("fingerprint", ""),
         )
 
-    def restore_schedule(self, dag: ComputeDAG) -> Schedule:
-        """Rebuild the stored best schedule against a caller-provided DAG."""
+    def restore_schedule(self, dag: ComputeDAG, check_workload: bool = True) -> Schedule:
+        """Rebuild the stored best schedule against a caller-provided DAG.
+
+        ``check_workload=False`` skips the display-name check for callers
+        that already matched identity structurally (e.g. via
+        :meth:`RecordStore.results_for`).
+        """
         if self.schedule is None:
             raise ValueError(f"record for {self.workload!r} holds no schedule")
-        return schedule_from_dict(self.schedule, dag)
+        return schedule_from_dict(self.schedule, dag, check_workload=check_workload)
 
 
 def result_to_record(result: TuningResult) -> TuningRecord:
@@ -156,6 +177,11 @@ def result_to_record(result: TuningResult) -> TuningRecord:
         trials_used=int(result.trials_used),
         schedule=schedule_to_dict(result.best_schedule) if result.best_schedule else None,
         history=[[float(t), float(l)] for t, l in result.history],
+        fingerprint=(
+            structural_fingerprint(result.best_schedule.dag)
+            if result.best_schedule is not None
+            else ""
+        ),
     )
 
 
@@ -209,6 +235,9 @@ class MeasureRecord:
         Structural schedule serialisation (see :func:`schedule_to_dict`).
     scheduler:
         Optional name of the scheduler that produced the candidate.
+    fingerprint:
+        Canonical structural identity of the workload; empty for legacy
+        records (which then match by display name only).
     """
 
     workload: str
@@ -217,6 +246,7 @@ class MeasureRecord:
     trial_index: int
     schedule: dict
     scheduler: str = ""
+    fingerprint: str = ""
 
     def to_dict(self) -> dict:
         """JSON-compatible representation of this measurement."""
@@ -227,6 +257,7 @@ class MeasureRecord:
             "trial_index": self.trial_index,
             "schedule": self.schedule,
             "scheduler": self.scheduler,
+            "fingerprint": self.fingerprint,
         }
 
     @staticmethod
@@ -239,17 +270,22 @@ class MeasureRecord:
             trial_index=int(data["trial_index"]),
             schedule=data["schedule"],
             scheduler=data.get("scheduler", ""),
+            fingerprint=data.get("fingerprint", ""),
         )
 
     def restore_schedule(
-        self, dag: ComputeDAG, sketch_cache: Optional[dict] = None
+        self, dag: ComputeDAG, sketch_cache: Optional[dict] = None,
+        check_workload: bool = True,
     ) -> Schedule:
         """Rebuild the measured schedule against a caller-provided DAG.
 
         ``sketch_cache`` is forwarded to :func:`schedule_from_dict` to share
-        regenerated sketch lists across bulk restores.
+        regenerated sketch lists across bulk restores; ``check_workload`` is
+        forwarded too (fingerprint-matched callers disable the name check).
         """
-        return schedule_from_dict(self.schedule, dag, sketch_cache)
+        return schedule_from_dict(
+            self.schedule, dag, sketch_cache, check_workload=check_workload
+        )
 
 
 class RecordStore:
@@ -356,6 +392,7 @@ class RecordStore:
                 trial_index=int(result.trial_index),
                 schedule=schedule_to_dict(result.schedule),
                 scheduler=scheduler,
+                fingerprint=structural_fingerprint(result.schedule.dag),
             )
         )
 
@@ -367,6 +404,27 @@ class RecordStore:
         if workload is None:
             return list(self._measures)
         return [m for m in self._measures if m.workload == workload]
+
+    @staticmethod
+    def _matches(record, fingerprint: str, name: str) -> bool:
+        """Structural identity match with a legacy display-name fallback."""
+        if record.fingerprint and fingerprint:
+            return record.fingerprint == fingerprint
+        return record.workload == name
+
+    def measures_for(self, dag: ComputeDAG) -> List[MeasureRecord]:
+        """Measurements of one workload, matched by canonical fingerprint.
+
+        Renamed-but-structurally-identical DAGs share their records; records
+        written before fingerprints existed fall back to name matching.
+        """
+        fingerprint = structural_fingerprint(dag)
+        return [m for m in self._measures if self._matches(m, fingerprint, dag.name)]
+
+    def results_for(self, dag: ComputeDAG) -> List[TuningRecord]:
+        """Final results of one workload, matched by canonical fingerprint."""
+        fingerprint = structural_fingerprint(dag)
+        return [r for r in self._results if self._matches(r, fingerprint, dag.name)]
 
     def results(self, workload: Optional[str] = None) -> List[TuningRecord]:
         """All final-result records, optionally filtered to one workload."""
@@ -433,7 +491,7 @@ class RecordStore:
         -------
         The restored schedules, best latency first.
         """
-        matching = sorted(self.measures(dag.name), key=lambda m: m.latency)
+        matching = sorted(self.measures_for(dag), key=lambda m: m.latency)
         if max_schedules is not None:
             matching = matching[:max_schedules]
         schedules: List[Schedule] = []
@@ -443,7 +501,9 @@ class RecordStore:
         sketch_cache: dict = {}  # regenerate each sketch list once, not per record
         for record in matching:
             try:
-                schedule = record.restore_schedule(dag, sketch_cache)
+                # Identity was already matched structurally above, so restores
+                # go through even when the DAG was renamed since recording.
+                schedule = record.restore_schedule(dag, sketch_cache, check_workload=False)
             except ValueError:
                 continue  # sketch shape drifted since the log was written
             schedules.append(schedule)

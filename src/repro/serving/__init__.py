@@ -1,0 +1,63 @@
+"""Serving subsystem: workload fingerprints, schedule registry, tuning service.
+
+Three layers turn the per-run tuner into a shared, reusable system:
+
+* :mod:`repro.serving.fingerprint` — canonical label-invariant workload
+  identity and similarity embeddings,
+* :mod:`repro.serving.registry` — the persistent sharded best-schedule
+  database with nearest-neighbour transfer lookup,
+* :mod:`repro.serving.service` — the multi-tenant tuning front end with
+  request coalescing and gradient-allocated budgets.
+
+Submodules are imported lazily so low-level modules (``repro.records``) can
+use the fingerprint helpers without pulling in the registry/service layers
+(which themselves build on ``repro.records``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "structural_fingerprint",
+    "workload_embedding",
+    "embedding_distance",
+    "RegistryEntry",
+    "ScheduleRegistry",
+    "TuningRequest",
+    "JobHandle",
+    "TuningService",
+]
+
+_EXPORTS = {
+    "structural_fingerprint": "repro.serving.fingerprint",
+    "workload_embedding": "repro.serving.fingerprint",
+    "embedding_distance": "repro.serving.fingerprint",
+    "RegistryEntry": "repro.serving.registry",
+    "ScheduleRegistry": "repro.serving.registry",
+    "TuningRequest": "repro.serving.service",
+    "JobHandle": "repro.serving.service",
+    "TuningService": "repro.serving.service",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.serving.fingerprint import (  # noqa: F401
+        embedding_distance,
+        structural_fingerprint,
+        workload_embedding,
+    )
+    from repro.serving.registry import RegistryEntry, ScheduleRegistry  # noqa: F401
+    from repro.serving.service import (  # noqa: F401
+        JobHandle,
+        TuningRequest,
+        TuningService,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

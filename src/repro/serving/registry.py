@@ -1,0 +1,495 @@
+"""Persistent, sharded best-schedule registry.
+
+The registry is the shared database layer of the serving subsystem: it maps
+``(structural fingerprint, hardware target)`` to the best-known schedule of
+that workload plus provenance, so tuning work done anywhere — benchmark runs,
+CLI sessions, the multi-tenant tuning service — accumulates into one reusable
+knowledge base.
+
+Storage model
+-------------
+Entries live in ``num_shards`` append-only JSONL shard files under one
+directory, sharded by fingerprint prefix so concurrent writers on different
+workloads rarely touch the same file.  Appends are single ``write`` +
+``flush`` calls of one line, the same crash-tolerant discipline as
+:class:`~repro.records.RecordStore`; corrupted lines are skipped (and
+counted) at load time.  An improvement to a key appends a new line rather
+than rewriting the shard, so files grow monotonically until
+:meth:`ScheduleRegistry.compact` rewrites each shard with only the current
+best entry per key (atomically, via temp file + ``os.replace``).
+
+Reuse model
+-----------
+:meth:`lookup` answers exact structural hits in O(1).  :meth:`nearest` runs a
+nearest-neighbour search over the stored workload embeddings of a target, so
+a *new* workload can borrow the best schedule of its closest registered
+relative; :meth:`warm_start_schedules` packages both into ready-to-measure
+:class:`~repro.tensor.schedule.Schedule` objects (tile sizes are re-fitted
+to the new extents when the relative's shape differs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.serving.fingerprint import (
+    embedding_distance,
+    structural_fingerprint,
+    workload_embedding,
+)
+from repro.tensor.dag import ComputeDAG
+from repro.tensor.factors import prime_factors, product
+from repro.tensor.schedule import Schedule
+from repro.tensor.sketch import generate_sketches
+
+__all__ = ["RegistryEntry", "ScheduleRegistry"]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """Best-known schedule of one (workload fingerprint, target) pair.
+
+    ``schedule`` is the structural serialisation produced by
+    :func:`~repro.records.schedule_to_dict`; ``source`` records provenance
+    (which runner / service tenant / import produced the entry).
+    """
+
+    fingerprint: str
+    target: str
+    workload: str
+    latency: float
+    throughput: float
+    trials: int
+    scheduler: str
+    schedule: Optional[dict]
+    embedding: Tuple[float, ...] = ()
+    source: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.fingerprint, self.target)
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "target": self.target,
+            "workload": self.workload,
+            "latency": self.latency,
+            "throughput": self.throughput,
+            "trials": self.trials,
+            "scheduler": self.scheduler,
+            "schedule": self.schedule,
+            "embedding": list(self.embedding),
+            "source": self.source,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RegistryEntry":
+        return RegistryEntry(
+            fingerprint=data["fingerprint"],
+            target=data["target"],
+            workload=data["workload"],
+            latency=float(data["latency"]),
+            throughput=float(data["throughput"]),
+            trials=int(data.get("trials", 0)),
+            scheduler=data.get("scheduler", ""),
+            schedule=data.get("schedule"),
+            embedding=tuple(float(v) for v in data.get("embedding", ())),
+            source=data.get("source", ""),
+        )
+
+
+def _fit_tile_sizes(extent: int, levels: int, reference: Sequence[int]) -> List[int]:
+    """Re-fit a reference tile-size list to a new extent.
+
+    Distributes the prime factors of ``extent`` (largest first) over
+    ``levels`` slots, greedily assigning each factor to the slot furthest
+    below its reference size, so the shape of the borrowed tiling is
+    preserved as closely as the new extent's factorisation allows.  The
+    result always multiplies to ``extent`` exactly.
+    """
+    reference = list(reference) + [1] * (levels - len(reference))
+    sizes = [1] * levels
+    for p in sorted(prime_factors(extent), reverse=True):
+        ratios = [reference[i] / sizes[i] for i in range(levels)]
+        slot = max(range(levels), key=lambda i: (ratios[i], i))
+        sizes[slot] *= p
+    assert product(sizes) == extent
+    return sizes
+
+
+class ScheduleRegistry:
+    """Sharded persistent map (fingerprint, target) → best schedule.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created on first write).  ``None``
+        keeps the registry purely in memory.
+    num_shards:
+        Number of JSONL shard files; the shard of an entry is derived from
+        its fingerprint prefix, so the mapping is stable across processes.
+    strict:
+        When true, corrupted lines raise at load time instead of being
+        skipped and counted in :attr:`skipped_lines`.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        num_shards: int = 16,
+        strict: bool = False,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.root = Path(root) if root is not None else None
+        self.num_shards = int(num_shards)
+        self.strict = bool(strict)
+        self.skipped_lines = 0
+        self.total_lines = 0
+        self._best: Dict[Tuple[str, str], RegistryEntry] = {}
+        self._handles: Dict[int, IO[str]] = {}
+        if self.root is not None and self.root.exists():
+            # Glob rather than range(num_shards): a registry written with a
+            # different shard count must still load every entry.
+            for path in sorted(self.root.glob("shard-*.jsonl")):
+                self._load_lines(path)
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+    def _shard_of(self, fingerprint: str) -> int:
+        # crc32 keeps the shard mapping stable across processes and total
+        # over arbitrary (e.g. imported) fingerprint strings.
+        return zlib.crc32(fingerprint.encode("utf-8")) % self.num_shards
+
+    def _shard_path(self, shard: int) -> Path:
+        assert self.root is not None
+        return self.root / f"shard-{shard:02d}.jsonl"
+
+    def _load_lines(self, path: Path) -> None:
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            self.total_lines += 1
+            try:
+                self._absorb(RegistryEntry.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                if self.strict:
+                    raise ValueError(
+                        f"corrupted registry entry at {path}:{lineno}: {exc}"
+                    ) from exc
+                self.skipped_lines += 1
+
+    def _absorb(self, entry: RegistryEntry) -> bool:
+        """Fold an entry into the in-memory best map (no disk write)."""
+        current = self._best.get(entry.key)
+        if current is None or entry.latency < current.latency:
+            self._best[entry.key] = entry
+            return True
+        return False
+
+    def _append(self, entry: RegistryEntry) -> None:
+        if self.root is None:
+            return
+        shard = self._shard_of(entry.fingerprint)
+        fh = self._handles.get(shard)
+        if fh is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fh = self._shard_path(shard).open("a", encoding="utf-8")
+            self._handles[shard] = fh
+        fh.write(json.dumps(entry.to_dict()) + "\n")
+        fh.flush()
+        self.total_lines += 1
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, entry: RegistryEntry) -> bool:
+        """Record an entry; returns True if it improved (or created) its key.
+
+        Only improvements are appended to disk, so shard files hold the
+        monotone history of best schedules per key.
+        """
+        if not entry.fingerprint:
+            raise ValueError("registry entries need a non-empty fingerprint")
+        accepted = self._absorb(entry)
+        if accepted:
+            self._append(entry)
+        return accepted
+
+    def record_result(self, dag: ComputeDAG, target, result, source: str = "") -> bool:
+        """Record a :class:`~repro.core.tuner.TuningResult` for a DAG.
+
+        ``target`` is a :class:`~repro.hardware.target.HardwareTarget` (or its
+        name).  Results without a schedule or a finite latency are ignored.
+        """
+        from repro.records import schedule_to_dict  # local import: records imports us
+
+        if result.best_schedule is None or not (result.best_latency < float("inf")):
+            return False
+        target_name = target if isinstance(target, str) else target.name
+        return self.record(
+            RegistryEntry(
+                fingerprint=structural_fingerprint(dag),
+                target=target_name,
+                workload=dag.name,
+                latency=float(result.best_latency),
+                throughput=float(result.best_throughput),
+                trials=int(result.trials_used),
+                scheduler=result.scheduler,
+                schedule=schedule_to_dict(result.best_schedule),
+                embedding=tuple(workload_embedding(dag).tolist()),
+                source=source,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def get(self, fingerprint: str, target) -> Optional[RegistryEntry]:
+        """O(1) exact lookup by (fingerprint, target)."""
+        target_name = target if isinstance(target, str) else target.name
+        return self._best.get((fingerprint, target_name))
+
+    def lookup(self, dag: ComputeDAG, target) -> Optional[RegistryEntry]:
+        """O(1) exact structural lookup for a DAG."""
+        return self.get(structural_fingerprint(dag), target)
+
+    def entries(self) -> List[RegistryEntry]:
+        """Current best entry of every (fingerprint, target) key."""
+        return [self._best[key] for key in sorted(self._best)]
+
+    def nearest(
+        self,
+        dag: ComputeDAG,
+        target,
+        k: int = 1,
+        exclude_exact: bool = True,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        """The ``k`` registered workloads closest to ``dag`` on one target.
+
+        Returns ``(embedding distance, entry)`` pairs sorted by distance.
+        ``exclude_exact`` drops the DAG's own fingerprint so the result is a
+        genuine *relative*, which is what transfer warm starts want.
+        """
+        target_name = target if isinstance(target, str) else target.name
+        fingerprint = structural_fingerprint(dag)
+        query = workload_embedding(dag)
+        scored: List[Tuple[float, RegistryEntry]] = []
+        for entry in self._best.values():
+            if entry.target != target_name or not entry.embedding:
+                continue
+            if exclude_exact and entry.fingerprint == fingerprint:
+                continue
+            scored.append((embedding_distance(query, entry.embedding), entry))
+        scored.sort(key=lambda pair: (pair[0], pair[1].fingerprint))
+        return scored[: max(k, 0)]
+
+    def stats(self) -> dict:
+        """Aggregate registry statistics (entries, shards, stale lines, ...)."""
+        targets = sorted({entry.target for entry in self._best.values()})
+        shard_files = 0
+        if self.root is not None and self.root.exists():
+            shard_files = len(list(self.root.glob("shard-*.jsonl")))
+        return {
+            "entries": len(self._best),
+            "workloads": len({fp for fp, _t in self._best}),
+            "targets": targets,
+            "shard_files": shard_files,
+            "total_lines": self.total_lines,
+            "stale_lines": max(
+                self.total_lines - self.skipped_lines - len(self._best), 0
+            ),
+            "skipped_lines": self.skipped_lines,
+        }
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._best
+
+    # ------------------------------------------------------------------ #
+    # warm starts
+    # ------------------------------------------------------------------ #
+    def warm_start_schedules(
+        self,
+        dag: ComputeDAG,
+        target,
+        max_candidates: int = 4,
+    ) -> List[Schedule]:
+        """Ready-to-measure warm-start schedules for a DAG on one target.
+
+        An exact structural hit contributes its stored schedule verbatim
+        (restored against ``dag``); nearest registered relatives contribute
+        schedules whose tile sizes are re-fitted to the new extents.  Returns
+        at most ``max_candidates`` schedules, exact hit first.
+        """
+        from repro.records import schedule_from_dict  # records imports us
+
+        out: List[Schedule] = []
+        exact = self.lookup(dag, target)
+        if exact is not None and exact.schedule is not None:
+            try:
+                out.append(
+                    schedule_from_dict(exact.schedule, dag, check_workload=False)
+                )
+            except (KeyError, TypeError, ValueError):
+                # Malformed stored schedule (older format / torn write):
+                # skip it, matching the registry's corruption tolerance.
+                pass
+        for _distance, entry in self.nearest(dag, target, k=max_candidates):
+            if len(out) >= max_candidates:
+                break
+            if entry.schedule is None:
+                continue
+            adapted = self._adapt_schedule(entry.schedule, dag)
+            if adapted is not None:
+                out.append(adapted)
+        return out[:max_candidates]
+
+    @staticmethod
+    def _adapt_schedule(data: dict, dag: ComputeDAG) -> Optional[Schedule]:
+        """Transfer a stored schedule onto a structurally *similar* DAG.
+
+        Regenerates the sketch family of ``dag`` at the stored tiling depths,
+        picks the stored sketch rule if it exists, and re-fits every tile-size
+        list to the new iterator extents; knob indices are clamped to the new
+        valid ranges.  Returns ``None`` when no sketch of ``dag`` matches the
+        stored rule (e.g. a fusion sketch borrowed for a fusion-free DAG).
+        """
+        try:
+            sketches = generate_sketches(
+                dag,
+                spatial_levels=int(data["spatial_levels"]),
+                reduction_levels=int(data["reduction_levels"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        matches = [s for s in sketches if s.key == data.get("sketch_key")]
+        if not matches:
+            return None
+        sketch = matches[0]
+        try:
+            reference = [list(map(int, sizes)) for sizes in data.get("tile_sizes", [])]
+            tile_sizes: List[List[int]] = []
+            for idx, (_name, _kind, extent, levels) in enumerate(sketch.tiled_iters):
+                ref = reference[idx] if idx < len(reference) else []
+                tile_sizes.append(_fit_tile_sizes(int(extent), int(levels), ref))
+            n_candidates = len(dag.compute_at_candidates())
+            max_parallel = len(dag.main_stage.spatial_iters)
+            unroll_depths = tuple(int(d) for d in data.get("unroll_depths", (0,)))
+            return Schedule(
+                sketch=sketch,
+                tile_sizes=tile_sizes,
+                compute_at_index=min(int(data.get("compute_at_index", 0)), n_candidates - 1),
+                num_parallel=min(int(data.get("num_parallel", 1)), max_parallel),
+                unroll_index=min(
+                    int(data.get("unroll_index", 0)), len(unroll_depths) - 1
+                ),
+                unroll_depths=unroll_depths,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # maintenance: merge / import / export / compact
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ScheduleRegistry") -> int:
+        """Fold another registry's best entries into this one.
+
+        Returns the number of entries that improved (or created) a key.
+        """
+        return sum(1 for entry in other.entries() if self.record(entry))
+
+    def export_file(self, path: Union[str, Path]) -> Path:
+        """Write the current best entries to one portable JSONL file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for entry in self.entries():
+                fh.write(json.dumps(entry.to_dict()) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def import_file(self, path: Union[str, Path], source: str = "") -> int:
+        """Import entries from a JSONL export; returns how many improved.
+
+        Corrupted lines follow the registry's ``strict`` policy.  ``source``
+        overrides the provenance of imported entries when non-empty.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"registry export {path} does not exist")
+        accepted = 0
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = RegistryEntry.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                if self.strict:
+                    raise ValueError(
+                        f"corrupted registry entry at {path}:{lineno}: {exc}"
+                    ) from exc
+                self.skipped_lines += 1
+                continue
+            if source:
+                entry = replace(entry, source=source)
+            if self.record(entry):
+                accepted += 1
+        return accepted
+
+    def compact(self) -> int:
+        """Rewrite every shard with only the current best entry per key.
+
+        Each shard is replaced atomically (temp file + ``os.replace``), so a
+        crash mid-compaction leaves either the old or the new shard, never a
+        torn one.  Returns the number of stale lines removed.
+        """
+        if self.root is None:
+            return 0
+        self.close()
+        by_shard: Dict[int, List[RegistryEntry]] = {}
+        for entry in self.entries():
+            by_shard.setdefault(self._shard_of(entry.fingerprint), []).append(entry)
+        removed = self.total_lines - self.skipped_lines - len(self._best)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Drop every existing shard file (including ones written under a
+        # different shard count) before rewriting under the current mapping.
+        stale_paths = set(self.root.glob("shard-*.jsonl"))
+        for shard, entries in sorted(by_shard.items()):
+            path = self._shard_path(shard)
+            tmp = path.with_suffix(".jsonl.tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for entry in entries:
+                    fh.write(json.dumps(entry.to_dict()) + "\n")
+            os.replace(tmp, path)
+            stale_paths.discard(path)
+        for path in stale_paths:
+            path.unlink()
+        self.total_lines = len(self._best)
+        self.skipped_lines = 0
+        return max(removed, 0)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close all shard file handles (idempotent)."""
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ScheduleRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,359 @@
+"""Multi-tenant tuning service with request coalescing and warm starts.
+
+:class:`TuningService` is the front door of the serving subsystem: clients
+submit :class:`TuningRequest`\\ s (possibly concurrently, from several
+tenants) and get back a :class:`JobHandle` immediately.  The service then
+
+* answers **registry hits** in O(1) — a workload whose structural fingerprint
+  is already in the :class:`~repro.serving.registry.ScheduleRegistry` gets
+  the stored best schedule back without consuming a single measurement trial,
+* **coalesces** duplicate in-flight requests — N concurrent submissions of
+  structurally identical workloads share one tuning job (the duplicates'
+  tenants just add weight to the job's budget priority),
+* **allocates each round's measurement budget** across the active jobs with
+  the same gradient estimator that drives Ansor's task scheduler and HARL's
+  subgraph bandit (:func:`~repro.core.subgraph_reward.normalized_rewards`),
+* **streams every outcome** into the registry (and an optional
+  :class:`~repro.records.RecordStore`), so completed jobs warm-start future
+  requests across process boundaries.
+
+Submission is thread-safe; the search itself is driven cooperatively by
+:meth:`TuningService.run` (or :meth:`process`, which submits a batch and
+runs it to completion), which keeps results bit-deterministic for a fixed
+seed regardless of how many clients submitted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import HARLConfig
+from repro.core.scheduler import HARLScheduler
+from repro.core.subgraph_reward import SubgraphState, normalized_rewards
+from repro.core.tuner import TuningResult
+from repro.hardware.target import HardwareTarget, cpu_target
+from repro.serving.fingerprint import structural_fingerprint
+from repro.serving.registry import ScheduleRegistry
+from repro.tensor.dag import ComputeDAG
+
+__all__ = ["TuningRequest", "JobHandle", "TuningService"]
+
+
+@dataclass(frozen=True)
+class TuningRequest:
+    """One client request: tune ``dag`` on the service's target.
+
+    ``force_tune`` bypasses the registry fast path (the tenant wants fresh
+    measurements even if a best-known schedule exists).
+    """
+
+    dag: ComputeDAG
+    n_trials: int = 64
+    scheduler: str = "harl"
+    tenant: str = "default"
+    force_tune: bool = False
+
+
+#: How a handle's result was produced.
+SOURCE_REGISTRY = "registry-hit"
+SOURCE_SCHEDULED = "scheduled"
+SOURCE_COALESCED = "coalesced"
+
+
+@dataclass
+class JobHandle:
+    """Client-side view of one submitted request.
+
+    ``source`` says whether the answer came straight from the registry, from
+    a tuning job created for this request, or from an in-flight job the
+    request was coalesced into.  ``result`` is populated when ``done``.
+    """
+
+    request: TuningRequest
+    fingerprint: str
+    source: str
+    done: bool = False
+    result: Optional[TuningResult] = None
+
+    def _finish(self, result: TuningResult) -> None:
+        self.result = result
+        self.done = True
+
+
+class _Job:
+    """One in-flight tuning job (possibly serving several coalesced handles)."""
+
+    def __init__(self, key: Tuple[str, str], request: TuningRequest, scheduler):
+        self.key = key
+        self.dag = request.dag
+        self.scheduler = scheduler
+        self.n_trials = int(request.n_trials)
+        self.trials_used = 0
+        self.handles: List[JobHandle] = []
+        self.tenants: List[str] = []
+        self.state = SubgraphState(
+            name=key[0][:12],
+            weight=1.0,
+            flops=request.dag.flops,
+            similarity_group=str(request.dag.tags.get("op", "")),
+        )
+
+    def attach(self, handle: JobHandle, request: TuningRequest) -> None:
+        self.handles.append(handle)
+        self.tenants.append(request.tenant)
+        # A coalesced duplicate raises the job's weight (more tenants are
+        # waiting on it) and can only extend, never shrink, its budget.
+        self.state.weight = float(len(self.handles))
+        self.n_trials = max(self.n_trials, int(request.n_trials))
+
+
+class TuningService:
+    """Asynchronous multi-tenant tuning front end over the schedule registry.
+
+    Parameters
+    ----------
+    registry:
+        Shared :class:`ScheduleRegistry` (defaults to a fresh in-memory one).
+        Completed jobs are recorded into it; incoming requests are answered
+        from it when possible and warm-started from it otherwise.
+    target / config / seed:
+        Hardware target, HARL configuration and base seed shared by all jobs.
+        Job seeds are derived deterministically from the base seed and the
+        job creation index, so a request batch reproduces exactly.
+    record_store:
+        Optional :class:`~repro.records.RecordStore`; every measurement of
+        every job is streamed into it (tagged per workload), giving the
+        service one consolidated, resumable measurement log.
+    scheduler_factory:
+        Override job construction: ``factory(name, seed, warm_start_provider)
+        -> scheduler``.  The default builds :class:`HARLScheduler` /
+        :class:`~repro.baselines.ansor.AnsorScheduler` with the service's
+        target, config and pipeline.
+    warm_start:
+        Disable to create jobs cold even when the registry holds relatives
+        (used by ablations and tests).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ScheduleRegistry] = None,
+        target: Optional[HardwareTarget] = None,
+        config: Optional[HARLConfig] = None,
+        seed: int = 0,
+        record_store=None,
+        num_workers: int = 1,
+        scheduler_factory: Optional[Callable[..., object]] = None,
+        warm_start: bool = True,
+        max_warm_start: int = 4,
+    ):
+        self.registry = registry if registry is not None else ScheduleRegistry()
+        self.target = target or cpu_target()
+        self.config = config or HARLConfig.scaled()
+        self.seed = int(seed)
+        self.record_store = record_store
+        self.num_workers = int(num_workers)
+        self.scheduler_factory = scheduler_factory
+        self.warm_start = bool(warm_start)
+        self.max_warm_start = int(max_warm_start)
+        self._lock = threading.Lock()
+        self._jobs: Dict[Tuple[str, str], _Job] = {}
+        self._order: List[Tuple[str, str]] = []  # FIFO tie-break for allocation
+        self.jobs_created = 0
+        self.registry_hits = 0
+        self.coalesced_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # job construction
+    # ------------------------------------------------------------------ #
+    def _warm_start_provider(self):
+        if not self.warm_start:
+            return None
+        registry, target, k = self.registry, self.target, self.max_warm_start
+
+        def provider(dag: ComputeDAG):
+            return registry.warm_start_schedules(dag, target, max_candidates=k)
+
+        return provider
+
+    def _build_scheduler(self, name: str, seed: int):
+        provider = self._warm_start_provider()
+        if self.scheduler_factory is not None:
+            return self.scheduler_factory(name, seed, provider)
+        from repro.experiments.runner import make_measurer
+
+        measurer = make_measurer(
+            self.target, self.config, seed, self.num_workers, self.record_store
+        )
+        if name in ("harl", "hierarchical-rl"):
+            return HARLScheduler(
+                target=self.target,
+                config=self.config,
+                seed=seed,
+                adaptive_stopping=(name == "harl"),
+                measurer=measurer,
+                record_store=self.record_store,
+                warm_start_provider=provider,
+            )
+        if name == "ansor":
+            from repro.baselines.ansor import AnsorConfig, AnsorScheduler
+
+            return AnsorScheduler(
+                target=self.target,
+                config=AnsorConfig.from_harl(self.config),
+                seed=seed,
+                measurer=measurer,
+                record_store=self.record_store,
+                warm_start_provider=provider,
+            )
+        raise KeyError(f"unknown service scheduler {name!r}")
+
+    def _registry_answer(self, request: TuningRequest, fingerprint: str, entry):
+        """Synthesize a zero-trial result from a registry entry.
+
+        Called *outside* the service lock: restoring the stored schedule
+        regenerates sketches, which must not serialize concurrent submits.
+        """
+        from repro.records import schedule_from_dict
+
+        schedule = None
+        if entry.schedule is not None:
+            try:
+                schedule = schedule_from_dict(
+                    entry.schedule, request.dag, check_workload=False
+                )
+            except (KeyError, TypeError, ValueError):
+                # Malformed stored schedule: still answer with the recorded
+                # latency, just without a restorable schedule object.
+                schedule = None
+        return TuningResult(
+            workload=request.dag.name,
+            scheduler="registry",
+            best_latency=entry.latency,
+            best_throughput=entry.throughput,
+            best_schedule=schedule,
+            trials_used=0,
+            search_steps=0,
+            history=[],
+            extras={
+                "fingerprint": fingerprint,
+                "registry_source": entry.source,
+                "registry_scheduler": entry.scheduler,
+                "registry_trials": entry.trials,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # client API
+    # ------------------------------------------------------------------ #
+    def submit(self, request: TuningRequest) -> JobHandle:
+        """Submit one request; returns immediately with a handle.
+
+        Thread-safe: concurrent submissions of structurally identical
+        workloads coalesce onto one job no matter how they interleave.
+        """
+        fingerprint = structural_fingerprint(request.dag)
+        if not request.force_tune:
+            # Registry hits never create or join jobs, so the whole fast path
+            # (including the sketch-regenerating schedule restore) runs
+            # without the service lock.
+            entry = self.registry.get(fingerprint, self.target)
+            if entry is not None:
+                with self._lock:
+                    self.registry_hits += 1
+                handle = JobHandle(request, fingerprint, SOURCE_REGISTRY)
+                handle._finish(self._registry_answer(request, fingerprint, entry))
+                return handle
+        with self._lock:
+            key = (fingerprint, self.target.name)
+            job = self._jobs.get(key)
+            if job is not None:
+                self.coalesced_requests += 1
+                handle = JobHandle(request, fingerprint, SOURCE_COALESCED)
+                job.attach(handle, request)
+                return handle
+            scheduler = self._build_scheduler(
+                request.scheduler, self.seed + 7919 * self.jobs_created
+            )
+            self.jobs_created += 1
+            job = _Job(key, request, scheduler)
+            handle = JobHandle(request, fingerprint, SOURCE_SCHEDULED)
+            job.attach(handle, request)
+            self._jobs[key] = job
+            self._order.append(key)
+            return handle
+
+    def active_jobs(self) -> int:
+        """Number of jobs currently in flight."""
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------ #
+    # driving the search
+    # ------------------------------------------------------------------ #
+    def _select_job(self, jobs: Sequence[_Job]) -> _Job:
+        """Gradient/bandit budget allocation across active jobs.
+
+        Never-tuned jobs warm up first (their reward is +inf-normalised to
+        1.0); afterwards the job with the largest expected benefit — Ansor's
+        Eq. 3 gradient estimate, weighted by the number of waiting tenants —
+        receives the next measurement round.
+        """
+        rewards = normalized_rewards(
+            [job.state for job in jobs],
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            backward_window=self.config.backward_window,
+        )
+        return jobs[int(np.argmax(rewards))]
+
+    def run(self, max_rounds: Optional[int] = None) -> int:
+        """Drive all in-flight jobs to completion; returns rounds executed.
+
+        Each round the budget allocator picks one job, that job's scheduler
+        runs one tuning round (bounded by the job's remaining trial budget),
+        and finished jobs are flushed to the registry and their handles.
+        """
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            with self._lock:
+                jobs = [self._jobs[key] for key in self._order if key in self._jobs]
+            if not jobs:
+                break
+            job = self._select_job(jobs)
+            spent = job.scheduler.tune_round(
+                job.dag, max_measures=job.n_trials - job.trials_used
+            )
+            job.trials_used += spent
+            job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+            rounds += 1
+            if job.trials_used >= job.n_trials or spent == 0:
+                self._finish_job(job)
+        return rounds
+
+    def _finish_job(self, job: _Job) -> None:
+        result = job.scheduler.finalize(job.dag)
+        result.extras["fingerprint"] = job.key[0]
+        result.extras["tenants"] = list(job.tenants)
+        self.registry.record_result(
+            job.dag,
+            self.target,
+            result,
+            source=f"service:{','.join(sorted(set(job.tenants)))}",
+        )
+        with self._lock:
+            self._jobs.pop(job.key, None)
+            # Prune the FIFO too: a later force_tune resubmission of the same
+            # key must not appear twice in the allocation snapshot.
+            self._order = [key for key in self._order if key != job.key]
+        for handle in job.handles:
+            handle._finish(result)
+
+    def process(self, requests: Sequence[TuningRequest]) -> List[JobHandle]:
+        """Submit a batch of requests and run the service until all complete."""
+        handles = [self.submit(request) for request in requests]
+        self.run()
+        return handles

@@ -9,10 +9,19 @@ bytes moved) that the hardware simulator and feature extractor consume.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Iterator", "Stage", "ComputeDAG", "DTYPE_BYTES"]
+__all__ = [
+    "Iterator",
+    "Stage",
+    "ComputeDAG",
+    "DTYPE_BYTES",
+    "canonical_structure",
+    "structural_fingerprint",
+]
 
 DTYPE_BYTES = 4  # fp32 throughout, matching the paper's benchmarks.
 
@@ -213,6 +222,119 @@ class ComputeDAG:
             f"ComputeDAG(name={self.name!r}, stages={len(self.stages)}, "
             f"flops={self.flops:.3g})"
         )
+
+
+# --------------------------------------------------------------------- #
+# canonical structural identity
+# --------------------------------------------------------------------- #
+_FINGERPRINT_ATTR = "_structural_fingerprint_cache"
+
+
+def _base_key(stage: Stage, is_main: bool) -> Tuple:
+    """Name-free local key of one stage: kind, iterator structure, work."""
+    return (
+        stage.kind,
+        tuple((int(it.extent), it.kind) for it in stage.iters),
+        float(stage.flops_per_element),
+        bool(is_main),
+    )
+
+
+def _structural_keys(dag: "ComputeDAG") -> Dict[str, Tuple]:
+    """Label-invariant structural key of every stage.
+
+    The key of a stage combines its local structure with the (sorted) keys of
+    its producers, computed bottom-up over the DAG, then is refined once with
+    the sorted keys of its consumers so that structurally identical stages
+    that feed *different* parts of the graph stay distinguishable.
+    """
+    by_name = {s.name: s for s in dag.stages}
+    keys: Dict[str, Tuple] = {}
+
+    def producer_closure(name: str) -> Tuple:
+        if name in keys:
+            return keys[name]
+        stage = by_name[name]
+        key = (
+            _base_key(stage, stage.name == dag.main_stage_name),
+            tuple(sorted(producer_closure(p) for p in stage.producers)),
+        )
+        keys[name] = key
+        return key
+
+    for stage in dag.stages:
+        producer_closure(stage.name)
+
+    # One consumer-side refinement round (Weisfeiler–Lehman style).
+    refined: Dict[str, Tuple] = {}
+    for stage in dag.stages:
+        consumer_keys = tuple(sorted(keys[c.name] for c in dag.consumers(stage.name)))
+        refined[stage.name] = (keys[stage.name], consumer_keys)
+    return refined
+
+
+def _depths(dag: "ComputeDAG") -> Dict[str, int]:
+    depths: Dict[str, int] = {}
+    by_name = {s.name: s for s in dag.stages}
+
+    def depth(name: str) -> int:
+        if name not in depths:
+            stage = by_name[name]
+            depths[name] = 1 + max((depth(p) for p in stage.producers), default=-1)
+        return depths[name]
+
+    for stage in dag.stages:
+        depth(stage.name)
+    return depths
+
+
+def canonical_structure(dag: "ComputeDAG") -> Tuple:
+    """Canonical name-free encoding of a DAG's structure.
+
+    Stages are re-indexed in a canonical order (topological depth, then
+    structural key) and every stage is emitted as ``(kind, flops_per_element,
+    iterator (extent, kind) list, is_main, sorted producer indices)``; the
+    tuple closes with the DAG-level byte totals consumed by the memory model.
+    The encoding is invariant under stage/iterator renaming, permutation of a
+    stage's ``producers`` tuple and topology-preserving stage reordering, and
+    ignores ``dag.name`` / ``dag.tags`` entirely.
+    """
+    keys = _structural_keys(dag)
+    depths = _depths(dag)
+    ordered = sorted(dag.stages, key=lambda s: (depths[s.name], keys[s.name]))
+    index = {stage.name: i for i, stage in enumerate(ordered)}
+    encoded = tuple(
+        (
+            stage.kind,
+            float(stage.flops_per_element),
+            tuple((int(it.extent), it.kind) for it in stage.iters),
+            stage.name == dag.main_stage_name,
+            tuple(sorted(index[p] for p in stage.producers)),
+        )
+        for stage in ordered
+    )
+    return encoded + ((int(dag.input_bytes), int(dag.output_bytes)),)
+
+
+def structural_fingerprint(dag: "ComputeDAG") -> str:
+    """Stable hex fingerprint of a DAG's canonical structure.
+
+    This is the identity used for task deduplication, record routing and the
+    schedule registry — renamed-but-structurally-identical workloads are one
+    workload for caching and reuse.  (The simulator's per-schedule
+    ruggedness seed deliberately stays keyed on ``Schedule.signature()``'s
+    display name — see that docstring — so the fingerprint never re-rolls
+    existing simulated latencies.)  The digest is cached on the DAG instance
+    (DAGs are built once and treated as immutable by the schedulers), so
+    identity checks on tuning hot paths cost one attribute lookup.
+    """
+    cached = dag.__dict__.get(_FINGERPRINT_ATTR)
+    if cached is not None:
+        return cached
+    payload = json.dumps(canonical_structure(dag), sort_keys=False)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    dag.__dict__[_FINGERPRINT_ATTR] = digest
+    return digest
 
 
 def make_stage(

@@ -160,7 +160,15 @@ class Schedule:
     # ------------------------------------------------------------------ #
     def signature(self) -> Tuple:
         """Hashable identity of the schedule (used for dedup and the simulator's
-        deterministic per-schedule ruggedness)."""
+        deterministic per-schedule ruggedness).
+
+        Deliberately keyed on the display name, not the structural
+        fingerprint: the simulator's rugged landscape is seeded from this
+        signature, and re-keying it would re-roll every simulated latency in
+        the repository.  Structural identity (dedup, record routing, the
+        schedule registry) lives in
+        :func:`repro.tensor.dag.structural_fingerprint` instead.
+        """
         return (
             self.sketch.dag.name,
             self.sketch.key,

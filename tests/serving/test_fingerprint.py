@@ -1,0 +1,154 @@
+"""Property tests for the canonical structural workload fingerprint."""
+
+import numpy as np
+import pytest
+
+from repro.serving.fingerprint import (
+    EMBEDDING_SIZE,
+    canonical_structure,
+    embedding_distance,
+    structural_fingerprint,
+    workload_embedding,
+)
+from repro.tensor.dag import ComputeDAG, Iterator, Stage
+from repro.tensor.workloads import batch_gemm, conv1d, conv2d, gemm, gemm_tanh, softmax
+
+
+def _relabel(dag: ComputeDAG, suffix: str = "_x", reverse_producers: bool = False,
+             reverse_inputs: bool = False) -> ComputeDAG:
+    """Rename every stage/iterator; optionally permute producers and inputs."""
+    def rebuild(stage: Stage) -> Stage:
+        producers = tuple(p + suffix for p in stage.producers)
+        if reverse_producers:
+            producers = tuple(reversed(producers))
+        return Stage(
+            name=stage.name + suffix,
+            iters=tuple(
+                Iterator(it.name + "_r", it.extent, it.kind) for it in stage.iters
+            ),
+            kind=stage.kind,
+            producers=producers,
+            flops_per_element=stage.flops_per_element,
+        )
+
+    stages = [rebuild(s) for s in dag.stages]
+    if reverse_inputs:
+        inputs = [s for s in stages if s.kind == "input"]
+        rest = [s for s in stages if s.kind != "input"]
+        stages = list(reversed(inputs)) + rest
+    return ComputeDAG(
+        name="relabelled",
+        stages=stages,
+        main_stage_name=dag.main_stage_name + suffix,
+        input_bytes=dag.input_bytes,
+        output_bytes=dag.output_bytes,
+        tags={},
+    )
+
+
+WORKLOADS = [
+    gemm(128, 128, 128),
+    gemm(128, 256, 512),
+    batch_gemm(12, 128, 64, 128),
+    conv1d(256, 64, 128, 3, 2, 1),
+    conv2d(14, 14, 32, 32, 3, 1, 1),
+    softmax(256, 128),
+    gemm_tanh(128, 768, 768),
+]
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("dag", WORKLOADS, ids=lambda d: d.name)
+    def test_renaming_preserves_fingerprint(self, dag):
+        assert structural_fingerprint(_relabel(dag)) == structural_fingerprint(dag)
+
+    @pytest.mark.parametrize("dag", WORKLOADS, ids=lambda d: d.name)
+    def test_producer_permutation_preserves_fingerprint(self, dag):
+        permuted = _relabel(dag, reverse_producers=True, reverse_inputs=True)
+        assert structural_fingerprint(permuted) == structural_fingerprint(dag)
+
+    @pytest.mark.parametrize("dag", WORKLOADS, ids=lambda d: d.name)
+    def test_display_name_and_tags_ignored(self, dag):
+        clone = ComputeDAG(
+            name="something_else",
+            stages=list(dag.stages),
+            main_stage_name=dag.main_stage_name,
+            input_bytes=dag.input_bytes,
+            output_bytes=dag.output_bytes,
+            tags={"completely": "different"},
+        )
+        assert structural_fingerprint(clone) == structural_fingerprint(dag)
+
+    def test_workload_key_still_name_sensitive(self):
+        # The human-readable key intentionally keeps names (display use).
+        a, b = gemm(128, 128, 128), gemm(128, 128, 128, name="renamed")
+        assert a.workload_key() != b.workload_key()
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+
+class TestSensitivity:
+    def test_extent_change_alters_fingerprint(self):
+        assert structural_fingerprint(gemm(128, 128, 128)) != structural_fingerprint(
+            gemm(128, 128, 256)
+        )
+
+    def test_iterator_kind_change_alters_fingerprint(self):
+        base = gemm(128, 128, 128, bias=False)
+        flipped_stages = []
+        for stage in base.stages:
+            if stage.name == "matmul":
+                flipped_stages.append(
+                    Stage(
+                        name=stage.name,
+                        iters=tuple(
+                            Iterator(it.name, it.extent, "spatial") for it in stage.iters
+                        ),
+                        kind=stage.kind,
+                        producers=stage.producers,
+                        flops_per_element=stage.flops_per_element,
+                    )
+                )
+            else:
+                flipped_stages.append(stage)
+        flipped = ComputeDAG(
+            name=base.name,
+            stages=flipped_stages,
+            main_stage_name=base.main_stage_name,
+            input_bytes=base.input_bytes,
+            output_bytes=base.output_bytes,
+        )
+        assert structural_fingerprint(flipped) != structural_fingerprint(base)
+
+    def test_stage_kind_and_work_alter_fingerprint(self):
+        with_bias = gemm(128, 128, 128, bias=True)
+        without_bias = gemm(128, 128, 128, bias=False)
+        assert structural_fingerprint(with_bias) != structural_fingerprint(without_bias)
+
+    def test_distinct_operators_distinct_fingerprints(self):
+        prints = {structural_fingerprint(dag) for dag in WORKLOADS}
+        assert len(prints) == len(WORKLOADS)
+
+    def test_canonical_structure_is_deterministic(self):
+        dag = conv2d(14, 14, 32, 32, 3, 1, 1)
+        assert canonical_structure(dag) == canonical_structure(
+            conv2d(14, 14, 32, 32, 3, 1, 1)
+        )
+
+
+class TestEmbedding:
+    def test_shape_and_rename_invariance(self):
+        dag = gemm(128, 256, 512)
+        emb = workload_embedding(dag)
+        assert emb.shape == (EMBEDDING_SIZE,)
+        assert np.allclose(emb, workload_embedding(_relabel(dag)))
+
+    def test_similar_shapes_are_closer_than_other_operators(self):
+        small, big = gemm(128, 128, 128), gemm(256, 128, 128)
+        conv = conv2d(14, 14, 32, 32, 3, 1, 1)
+        near = embedding_distance(workload_embedding(small), workload_embedding(big))
+        far = embedding_distance(workload_embedding(small), workload_embedding(conv))
+        assert near < far
+
+    def test_distance_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            embedding_distance(np.zeros(3), np.zeros(4))

@@ -1,0 +1,259 @@
+"""Tests for the multi-tenant tuning service: dedup, coalescing, warm starts.
+
+The acceptance-critical regressions live here:
+
+* N concurrent structurally-identical requests produce exactly ONE tuning
+  job (the rest coalesce onto it or hit the registry),
+* a warm-started run reaches the cold run's best latency in at most half
+  the cold run's measurement trials.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.scheduler import HARLScheduler
+from repro.baselines.ansor import AnsorConfig, AnsorScheduler
+from repro.hardware.measurer import Measurer
+from repro.serving.registry import ScheduleRegistry
+from repro.serving.service import (
+    SOURCE_COALESCED,
+    SOURCE_REGISTRY,
+    SOURCE_SCHEDULED,
+    TuningRequest,
+    TuningService,
+)
+from repro.tensor.workloads import conv1d, gemm
+
+
+def _renamed_gemms(n, m=64):
+    """Structurally identical GEMMs whose names all differ."""
+    return [gemm(m, m, m, name=f"client_{i}_gemm") for i in range(n)]
+
+
+@pytest.fixture
+def service(tiny_config):
+    return TuningService(registry=ScheduleRegistry(), config=tiny_config, seed=0)
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_job(self, service):
+        requests = [
+            TuningRequest(dag=dag, n_trials=8, tenant=f"tenant-{i}")
+            for i, dag in enumerate(_renamed_gemms(4))
+        ]
+        handles = service.process(requests)
+
+        assert service.jobs_created == 1
+        assert service.coalesced_requests == 3
+        assert [h.source for h in handles] == [SOURCE_SCHEDULED] + [SOURCE_COALESCED] * 3
+        assert all(h.done for h in handles)
+        # Everyone gets the *same* result object: one tuning job served all.
+        assert len({id(h.result) for h in handles}) == 1
+        assert handles[0].result.trials_used >= 8
+
+    def test_threaded_submissions_still_coalesce(self, service):
+        handles = [None] * 6
+        barrier = threading.Barrier(6)
+
+        def client(i, dag):
+            barrier.wait()
+            handles[i] = service.submit(TuningRequest(dag=dag, n_trials=8))
+
+        threads = [
+            threading.Thread(target=client, args=(i, dag))
+            for i, dag in enumerate(_renamed_gemms(6))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.run()
+
+        assert service.jobs_created == 1
+        assert all(h is not None and h.done for h in handles)
+        assert sum(h.source == SOURCE_SCHEDULED for h in handles) == 1
+
+    def test_distinct_workloads_get_distinct_jobs(self, service):
+        handles = service.process([
+            TuningRequest(dag=gemm(64, 64, 64), n_trials=8),
+            TuningRequest(dag=conv1d(64, 16, 32, 3, 1, 1), n_trials=8),
+        ])
+        assert service.jobs_created == 2
+        assert all(h.done for h in handles)
+        assert handles[0].result.workload != handles[1].result.workload
+
+    def test_coalesced_budget_extends_to_largest_request(self, service):
+        dags = _renamed_gemms(2)
+        h_small = service.submit(TuningRequest(dag=dags[0], n_trials=4))
+        service.submit(TuningRequest(dag=dags[1], n_trials=12))
+        service.run()
+        assert h_small.result.trials_used >= 12
+
+
+class TestRegistryFastPath:
+    def test_second_request_is_an_o1_registry_hit(self, service):
+        first = service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8)])[0]
+        assert first.source == SOURCE_SCHEDULED
+
+        hit = service.submit(
+            TuningRequest(dag=gemm(64, 64, 64, name="renamed"), n_trials=8)
+        )
+        assert hit.source == SOURCE_REGISTRY
+        assert hit.done  # answered at submit time, no run() needed
+        assert hit.result.trials_used == 0
+        assert hit.result.best_latency == pytest.approx(first.result.best_latency)
+        assert hit.result.best_schedule is not None
+        assert service.jobs_created == 1  # no new tuning work
+
+    def test_force_tune_bypasses_registry(self, service):
+        service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8)])
+        forced = service.submit(
+            TuningRequest(dag=gemm(64, 64, 64, name="fresh"), n_trials=8,
+                          force_tune=True)
+        )
+        assert forced.source == SOURCE_SCHEDULED
+        service.run()
+        assert forced.result.trials_used >= 8
+
+    def test_force_tune_resubmission_does_not_duplicate_allocation(self, service):
+        # Finish a job, then force_tune the same workload: the allocation
+        # FIFO must hold the recreated key exactly once.
+        service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=4)])
+        assert service._order == []
+        forced = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=4,
+                                              force_tune=True))
+        assert len(service._order) == 1
+        service.run()
+        assert forced.done
+        assert service._order == []
+
+    def test_malformed_registry_schedule_still_answers(self, service):
+        from dataclasses import replace
+
+        first = service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8)])[0]
+        key = (first.fingerprint, service.target.name)
+        entry = service.registry._best[key]
+        # Simulate an older/torn schedule payload: parseable but incomplete.
+        service.registry._best[key] = replace(entry, schedule={})
+
+        hit = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=8))
+        assert hit.done and hit.source == SOURCE_REGISTRY
+        assert hit.result.best_latency == pytest.approx(first.result.best_latency)
+        assert hit.result.best_schedule is None  # degraded gracefully, no crash
+        # Warm starts tolerate it too.
+        assert service.registry.warm_start_schedules(
+            gemm(64, 64, 64), service.target
+        ) == []
+
+    def test_completed_jobs_populate_registry(self, service):
+        service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8,
+                                       tenant="alice")])
+        entry = service.registry.lookup(gemm(64, 64, 64, name="other"),
+                                        service.target)
+        assert entry is not None
+        assert "alice" in entry.source
+
+
+class TestBudgetAllocation:
+    def test_all_jobs_complete_within_their_budgets(self, tiny_config):
+        service = TuningService(registry=ScheduleRegistry(), config=tiny_config,
+                                seed=0)
+        handles = service.process([
+            TuningRequest(dag=gemm(64, 64, 64), n_trials=10),
+            TuningRequest(dag=gemm(128, 64, 64), n_trials=6),
+            TuningRequest(dag=conv1d(64, 16, 32, 3, 1, 1), n_trials=6),
+        ])
+        assert service.jobs_created == 3
+        for handle in handles:
+            assert handle.done
+            assert handle.result.trials_used >= handle.request.n_trials
+        assert service.active_jobs() == 0
+
+
+@pytest.mark.slow
+class TestWarmStartTransfer:
+    """Acceptance: warm-started runs reach the cold best in ≤ half the trials."""
+
+    COLD_TRIALS = 32
+
+    def _cold_run(self, cpu, tiny_config, dag):
+        scheduler = HARLScheduler(
+            config=tiny_config, seed=0,
+            measurer=Measurer(cpu, noise=0.0, seed=0),
+        )
+        return scheduler.tune(dag, n_trials=self.COLD_TRIALS)
+
+    def test_harl_warm_start_halves_trials_to_cold_best(self, cpu, tiny_config):
+        donor = gemm(64, 64, 64)
+        cold = self._cold_run(cpu, tiny_config, donor)
+
+        registry = ScheduleRegistry()
+        assert registry.record_result(donor, cpu, cold, source="cold-run")
+
+        # A brand-new run (fresh scheduler, cost model and seed — only the
+        # registry carries knowledge across) on the same workload.
+        warm_scheduler = HARLScheduler(
+            config=tiny_config, seed=1,
+            measurer=Measurer(cpu, noise=0.0, seed=1),
+            warm_start_provider=lambda dag: registry.warm_start_schedules(dag, cpu),
+        )
+        warm = warm_scheduler.tune(gemm(64, 64, 64), n_trials=self.COLD_TRIALS // 2)
+
+        assert warm.best_latency <= cold.best_latency
+        reached_at = warm.trials_to_reach(cold.best_latency)
+        assert reached_at is not None
+        assert reached_at <= self.COLD_TRIALS // 2
+
+    def test_ansor_warm_start_halves_trials_to_cold_best(self, cpu, tiny_config):
+        donor = gemm(64, 64, 64)
+        cold = AnsorScheduler(
+            config=AnsorConfig.from_harl(tiny_config), seed=0,
+            measurer=Measurer(cpu, noise=0.0, seed=0),
+        ).tune(donor, n_trials=self.COLD_TRIALS)
+
+        registry = ScheduleRegistry()
+        registry.record_result(donor, cpu, cold, source="cold-run")
+
+        warm = AnsorScheduler(
+            config=AnsorConfig.from_harl(tiny_config), seed=1,
+            measurer=Measurer(cpu, noise=0.0, seed=1),
+            warm_start_provider=lambda dag: registry.warm_start_schedules(dag, cpu),
+        ).tune(gemm(64, 64, 64), n_trials=self.COLD_TRIALS // 2)
+
+        assert warm.best_latency <= cold.best_latency
+        reached_at = warm.trials_to_reach(cold.best_latency)
+        assert reached_at is not None and reached_at <= self.COLD_TRIALS // 2
+
+    def test_renamed_twin_is_answered_from_the_registry(self, cpu, tiny_config):
+        # Cross-*rename* reuse goes through the registry fast path: the twin
+        # gets the donor's stored result in O(1) with zero trials (the
+        # simulator's landscape seed is name-keyed, so re-measuring a twin is
+        # neither needed nor exact).
+        donor = gemm(64, 64, 64)
+        cold = self._cold_run(cpu, tiny_config, donor)
+        registry = ScheduleRegistry()
+        registry.record_result(donor, cpu, cold, source="cold-run")
+
+        service = TuningService(registry=registry, config=tiny_config, seed=1,
+                                target=cpu)
+        handle = service.submit(
+            TuningRequest(dag=gemm(64, 64, 64, name="renamed_twin"), n_trials=16)
+        )
+        assert handle.done and handle.source == SOURCE_REGISTRY
+        assert handle.result.trials_used == 0
+        assert handle.result.best_latency == pytest.approx(cold.best_latency)
+
+    def test_service_warm_starts_similar_workloads(self, cpu, tiny_config):
+        # A *similar* (not identical) workload borrows the donor's schedule
+        # shape: the transferred schedules are measured within the first round.
+        registry = ScheduleRegistry()
+        service = TuningService(registry=registry, config=tiny_config, seed=0)
+        service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=12)])
+
+        relative = gemm(96, 96, 96)  # nearest-neighbour transfer target
+        handle = service.process([TuningRequest(dag=relative, n_trials=12)])[0]
+        assert handle.done
+        assert handle.result.best_schedule is not None
+        # Both workloads are now registered for future exact hits.
+        assert len(registry) == 2

@@ -117,3 +117,77 @@ class TestMeasurementPipelineFlags:
                   "--resume-from", "does-not-exist.jsonl"])
         assert excinfo.value.code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestServingCommands:
+    def test_serve_demo_then_registry_hits(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        base = ["serve", "--trials", "8", "--scale", "0.05",
+                "--registry", str(registry)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "coalesced" in first  # duplicate demo GEMMs share one job
+        assert "jobs created: 2" in first
+
+        assert main(base) == 0  # second run answers everything from disk
+        second = capsys.readouterr().out
+        assert "registry-hit" in second
+        assert "jobs created: 0" in second
+
+    def test_serve_requests_file(self, capsys, tmp_path):
+        import json as json_mod
+
+        requests = tmp_path / "requests.json"
+        requests.write_text(json_mod.dumps([
+            {"op": "GEMM-S", "batch": 1, "trials": 8, "tenant": "t1"},
+            {"op": "GEMM-S", "batch": 1, "trials": 8, "tenant": "t2"},
+        ]))
+        code = main(["serve", "--scale", "0.05", "--requests", str(requests)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t1" in out and "t2" in out
+        assert "coalesced" in out
+
+    def test_tune_op_registry_roundtrip_and_query(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        base = ["tune-op", "--op", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                "--registry", str(registry)]
+        assert main(base) == 0
+        capsys.readouterr()
+
+        assert main(["query", "--registry", str(registry), "--op", "GEMM-S"]) == 0
+        out = capsys.readouterr().out
+        assert "exact hit" in out and "none" not in out.split("exact hit")[1].split("\n")[0]
+
+        assert main(["query", "--registry", str(registry), "--op", "C2D"]) == 0
+        out = capsys.readouterr().out
+        assert "exact hit:   none" in out
+        assert "nearest relative" in out  # the GEMM entry is offered as relative
+
+    def test_registry_maintenance_commands(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        assert main(["tune-op", "--op", "GEMM-S", "--trials", "8",
+                     "--scale", "0.05", "--registry", str(registry)]) == 0
+        capsys.readouterr()
+
+        assert main(["registry", "stats", "--registry", str(registry)]) == 0
+        assert "entries: 1" in capsys.readouterr().out.replace(" ", " ")
+
+        export = tmp_path / "export.jsonl"
+        assert main(["registry", "export", "--registry", str(registry),
+                     "--file", str(export)]) == 0
+        capsys.readouterr()
+        assert export.exists()
+
+        fresh = tmp_path / "fresh"
+        assert main(["registry", "import", "--registry", str(fresh),
+                     "--file", str(export)]) == 0
+        assert "imported 1" in capsys.readouterr().out
+
+        assert main(["registry", "compact", "--registry", str(registry)]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_registry_export_requires_file(self, capsys, tmp_path):
+        assert main(["registry", "export",
+                     "--registry", str(tmp_path / "r")]) == 2
+        assert "--file" in capsys.readouterr().err

@@ -129,6 +129,61 @@ class TestCorruptionTolerance:
         assert store.skipped_lines == 0
 
 
+class TestFingerprintRouting:
+    """Record identity is structural: renamed twins share their records."""
+
+    def test_measures_for_matches_renamed_dag(self, cpu, gemm_sketch, rng):
+        store = RecordStore()
+        results = _measure_some(cpu, gemm_sketch, rng, store)
+        twin = gemm(128, 128, 128, name="renamed_twin")
+        assert len(store.measures_for(twin)) == len(results)
+        assert store.measures_for(gemm(256, 256, 256)) == []
+
+    def test_replay_into_renamed_dag(self, cpu, gemm_sketch, rng, store_path):
+        store = RecordStore(store_path)
+        results = _measure_some(cpu, gemm_sketch, rng, store, n=6)
+        store.close()
+
+        twin = gemm(128, 128, 128, name="renamed_twin")
+        restored = RecordStore.load(store_path).replay(twin)
+        assert len(restored) == len(results)
+        assert all(s.dag.name == "renamed_twin" for s in restored)
+
+    def test_legacy_records_fall_back_to_name_match(self, cpu, gemm_sketch, rng,
+                                                    store_path):
+        store = RecordStore(store_path)
+        _measure_some(cpu, gemm_sketch, rng, store, n=3)
+        store.close()
+        # Strip the fingerprints, as a log written before this field existed.
+        lines = []
+        for line in store_path.read_text().splitlines():
+            data = json.loads(line)
+            data.pop("fingerprint", None)
+            lines.append(json.dumps(data))
+        store_path.write_text("\n".join(lines) + "\n")
+
+        legacy = RecordStore.load(store_path)
+        assert all(m.fingerprint == "" for m in legacy.measures())
+        assert len(legacy.measures_for(gemm(128, 128, 128))) == 3  # name match
+        assert legacy.measures_for(gemm(128, 128, 128, name="renamed")) == []
+
+    def test_results_carry_fingerprints(self, tiny_config, gemm_dag, store_path):
+        store = RecordStore(store_path)
+        HARLScheduler(config=tiny_config, seed=0, record_store=store).tune(
+            gemm_dag, n_trials=8
+        )
+        store.close()
+        loaded = RecordStore.load(store_path)
+        assert all(m.fingerprint for m in loaded.measures())
+        assert all(r.fingerprint for r in loaded.results())
+        twin = gemm(128, 128, 128, name="twin")
+        twin_results = loaded.results_for(twin)
+        assert len(twin_results) == 1
+        # Fingerprint-matched results restore onto the renamed twin.
+        restored = twin_results[0].restore_schedule(twin, check_workload=False)
+        assert restored.dag.name == "twin"
+
+
 class TestReplayAndResume:
     def test_replay_warm_starts_cost_model_and_measurer(
         self, cpu, gemm_sketch, rng, store_path
