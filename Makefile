@@ -4,11 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-full serve-demo
+.PHONY: test coverage bench bench-smoke bench-full serve-demo
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
 	$(PYTHON) -m pytest tests -q
+
+## Line coverage over src/repro (requires pytest-cov).  The suite measures
+## ~95% line coverage; the fail-under pin sits a safety margin below and
+## matches the CI coverage job.  Raise it when coverage improves, never
+## lower it to make a PR pass.
+coverage:
+	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=90
 
 ## Fast smoke pass over the benchmark harness (seconds, not minutes).
 ## Use this to sanity-check perf-sensitive changes before a full run.

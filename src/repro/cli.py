@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six sub-commands cover the common workflows:
+Eight sub-commands cover the common workflows:
 
 * ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
 * ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end.
@@ -12,8 +12,15 @@ Six sub-commands cover the common workflows:
   plus nearest structural relatives).
 * ``registry``     — maintain the registry: ``stats``, ``export``,
   ``import``, ``compact``.
+* ``targets``      — inspect the hardware target catalog: ``list`` all
+  presets, ``describe`` one (datasheet numbers, embedding, nearest devices).
+* ``sweep``        — tune a workload suite across several catalog targets
+  with cross-target transfer warm starts, printing (and optionally saving)
+  the cross-target latency / roofline report.
 
-All latencies come from the simulated hardware targets.
+All latencies come from the simulated hardware targets.  ``--target``
+accepts any catalog name (``repro targets list``) plus the ``cpu`` / ``gpu``
+aliases for the two paper platforms.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from repro.experiments.cache import build_network
 from repro.experiments.operator_suite import OPERATOR_CLASSES, representative_dag
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import compare_on_operator, make_measurer
+from repro.experiments.sweep import sweep_targets
+from repro.hardware.catalog import default_catalog
 from repro.hardware.target import cpu_target, gpu_target
 from repro.records import RecordStore
 from repro.serving.fingerprint import structural_fingerprint
@@ -62,8 +71,8 @@ measurement pipeline flags (available on every sub-command):
   For `compare`, --records-out names a directory instead: each competing
   scheduler writes its own <scheduler>.jsonl log there (no cross-talk), and
   --resume-from is ignored (comparisons always start from scratch so the
-  head-to-head stays fair).  `serve` also ignores --resume-from: service
-  jobs warm-start from the registry, not from record logs.
+  head-to-head stays fair).  `serve` and `sweep` also ignore --resume-from:
+  service jobs warm-start from the registry, not from record logs.
 
   --registry DIR    Use the persistent schedule registry at DIR: tuning runs
                     record their best schedules into it (keyed by canonical
@@ -119,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
+        p.add_argument("--target", default="cpu", metavar="NAME",
+                       help="hardware target: a catalog name (see `repro "
+                            "targets list`) or the cpu / gpu aliases")
         p.add_argument("--trials", type=int, default=200)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--scale", type=float, default=0.25,
@@ -180,7 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
                          epilog=_EPILOG,
                          formatter_class=argparse.RawDescriptionHelpFormatter)
     qry.add_argument("--registry", metavar="DIR", required=True)
-    qry.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
+    qry.add_argument("--target", default="cpu", metavar="NAME",
+                     help="hardware target: a catalog name or cpu / gpu")
     qry.add_argument("--op", choices=OPERATOR_CLASSES, default="GEMM-L")
     qry.add_argument("--batch", type=int, default=1)
     qry.add_argument("--neighbors", type=int, default=3,
@@ -194,11 +206,49 @@ def build_parser() -> argparse.ArgumentParser:
     reg.add_argument("--file", metavar="FILE", default=None,
                      help="JSONL file for export / import")
 
+    tgt = sub.add_parser("targets", help="inspect the hardware target catalog")
+    tgt.add_argument("action", choices=("list", "describe"))
+    tgt.add_argument("name", nargs="?", default=None,
+                     help="target name (required for describe)")
+
+    swp = sub.add_parser(
+        "sweep",
+        help="tune a workload suite across several targets with transfer",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(swp)
+    # Distinguish "no target flags at all" (sweep the two paper platforms)
+    # from an explicit single --target (sweep just that one).
+    swp.set_defaults(target=None)
+    swp.add_argument("--targets", metavar="NAMES", default=None,
+                     help="comma-separated catalog target names (overrides "
+                          "--target; default: the two paper platforms)")
+    swp.add_argument("--ops", metavar="CLASSES", default="GEMM-S,C1D",
+                     help="comma-separated Table 6 operator classes "
+                          f"(known: {', '.join(OPERATOR_CLASSES)})")
+    swp.add_argument("--batch", type=int, default=1)
+    swp.add_argument("--scheduler", choices=("harl", "hierarchical-rl", "ansor"),
+                     default="harl")
+    swp.add_argument("--report", metavar="FILE", default=None,
+                     help="write the cross-target report to this CSV file")
+
     return parser
 
 
 def _resolve_target(name: str):
-    return cpu_target() if name == "cpu" else gpu_target()
+    """Resolve a --target value: cpu / gpu aliases or any catalog name."""
+    if name == "cpu":
+        return cpu_target()
+    if name == "gpu":
+        return gpu_target()
+    try:
+        return default_catalog().get(name)
+    except KeyError:
+        known = ", ".join(["cpu", "gpu"] + default_catalog().names())
+        print(f"error: unknown target {name!r}; known targets: {known}",
+              file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _build_pipeline(args, target, config: HARLConfig):
@@ -437,6 +487,85 @@ def _cmd_registry(args) -> int:
     return 0
 
 
+def _cmd_targets(args) -> int:
+    catalog = default_catalog()
+    if args.action == "list":
+        rows = []
+        for target in catalog:
+            d = catalog.describe(target.name)
+            rows.append([
+                d["name"], d["kind"], d["num_cores"], d["vector_width"],
+                d["peak_tflops"], d["dram_gb_s"],
+                d["l1_kb"], d["l2_kb"], d["l3_mb"],
+            ])
+        print(format_table(
+            ["target", "kind", "cores", "simd", "peak TFLOP/s", "DRAM GB/s",
+             "L1 KB", "L2 KB", "L3 MB"],
+            rows, title=f"hardware target catalog ({len(catalog)} presets)",
+        ))
+        return 0
+    if not args.name:
+        print("error: targets describe needs a target name", file=sys.stderr)
+        return 2
+    try:
+        description = catalog.describe(args.name)
+    except KeyError:
+        print(f"error: unknown target {args.name!r}; known: "
+              f"{', '.join(catalog.names())}", file=sys.stderr)
+        return 2
+    embedding = description.pop("embedding")
+    for key, value in description.items():
+        print(f"{key:>22}: {value}")
+    print(f"{'embedding':>22}: [{', '.join(f'{v:.2f}' for v in embedding)}]")
+    rows = [
+        [neighbor.name, neighbor.kind, f"{distance:.2f}"]
+        for distance, neighbor in catalog.nearest(catalog.get(args.name), k=3)
+    ]
+    print()
+    print(format_table(["nearest target", "kind", "distance"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    config = HARLConfig.scaled(args.scale)
+    if args.targets:
+        target_names = [name.strip() for name in args.targets.split(",") if name.strip()]
+    elif args.target:
+        target_names = [args.target]
+    else:
+        target_names = ["xeon-6226r", "rtx-3090"]
+    targets = [_resolve_target(name) for name in target_names]
+    dags = []
+    for op in (name.strip() for name in args.ops.split(",")):
+        if op not in OPERATOR_CLASSES:
+            print(f"error: unknown operator class {op!r}; known: "
+                  f"{', '.join(OPERATOR_CLASSES)}", file=sys.stderr)
+            return 2
+        dags.append(representative_dag(op, batch=args.batch))
+    registry = _open_registry(args)
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    report = sweep_targets(
+        dags, targets, n_trials=args.trials, config=config, seed=args.seed,
+        scheduler=args.scheduler, registry=registry, num_workers=args.num_workers,
+        record_store=record_store,
+    )
+    print(report.format(
+        title=f"cross-target sweep: {len(dags)} workloads x {len(targets)} targets"
+    ))
+    transfers = report.transfer_cells()
+    if transfers:
+        print(f"\n{len(transfers)} runs warm-started across targets "
+              f"({', '.join(sorted({c.target for c in transfers}))})")
+    if args.report:
+        path = report.write_csv(args.report)
+        print(f"report written to {path}")
+    if record_store is not None:
+        record_store.close()
+    if registry is not None:
+        registry.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tune-op":
@@ -451,6 +580,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "registry":
         return _cmd_registry(args)
+    if args.command == "targets":
+        return _cmd_targets(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise KeyError(args.command)
 
 

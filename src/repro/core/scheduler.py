@@ -62,6 +62,10 @@ class _TaskContext:
         #: Transferred schedules (from a registry / warm-start provider) that
         #: should be measured directly before regular search rounds begin.
         self.pending_warm_start: List[Schedule] = []
+        #: Trials spent measuring transferred schedules (for provenance /
+        #: sample-efficiency reporting: these trials bought donor knowledge,
+        #: not fresh search).
+        self.warm_start_trials = 0
         self.critical_positions: List[float] = []
         self.track_lengths: List[int] = []
         self.episodes = 0
@@ -267,6 +271,7 @@ class HARLScheduler:
         batch = ctx.pending_warm_start[:budget]
         ctx.pending_warm_start = ctx.pending_warm_start[budget:]
         results = self.measurer.measure(batch)
+        ctx.warm_start_trials += len(results)
         self.cost_model.update(
             [r.schedule for r in results], [r.throughput for r in results]
         )
@@ -331,6 +336,7 @@ class HARLScheduler:
             history=self.measurer.history(name),
             extras={
                 "episodes": ctx.episodes,
+                "warm_start_trials": ctx.warm_start_trials,
                 "critical_positions": list(ctx.critical_positions),
                 "track_lengths": list(ctx.track_lengths),
                 "sketch_plays": ctx.sketch_mab.total_plays().tolist(),

@@ -17,16 +17,21 @@ from repro.experiments.runner import (
     compare_on_network,
 )
 from repro.experiments.reporting import format_table, write_csv
+from repro.experiments.sweep import SweepCell, SweepReport, roofline_flops, sweep_targets
 
 __all__ = [
     "OPERATOR_SUITE",
     "OperatorComparison",
+    "SweepCell",
+    "SweepReport",
     "compare_on_network",
     "compare_on_operator",
     "format_table",
     "normalized_performance",
     "normalized_search_time",
     "operator_dags",
+    "roofline_flops",
     "speedup",
+    "sweep_targets",
     "write_csv",
 ]

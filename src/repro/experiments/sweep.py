@@ -1,0 +1,181 @@
+"""Fleet sweep: tune a workload suite across a catalog of hardware targets.
+
+:func:`sweep_targets` drives one :class:`~repro.serving.service.TuningService`
+per target over a shared :class:`~repro.serving.registry.ScheduleRegistry`, so
+every target tuned after the first is warm-started from its closest relatives
+— same-target structural neighbours and, crucially, **cross-target donors**:
+the second device of a family typically reaches the first device's schedule
+quality in a fraction of the cold trial budget.
+
+The result is a :class:`SweepReport` with one cell per (workload, target):
+best latency, achieved throughput, the analytic **roofline bound**
+(``min(peak FLOP/s, arithmetic intensity × DRAM bandwidth)``), the fraction
+of that bound achieved, and the transfer provenance (which donor targets
+seeded the run).  Reports render as aligned text tables (``repro sweep``) and
+persist to CSV for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import HARLConfig
+from repro.experiments.reporting import format_table, write_csv
+from repro.hardware.catalog import TargetCatalog, default_catalog
+from repro.hardware.target import HardwareTarget
+from repro.serving.registry import ScheduleRegistry
+from repro.serving.service import TuningRequest, TuningService
+from repro.tensor.dag import ComputeDAG
+
+__all__ = ["SweepCell", "SweepReport", "roofline_flops", "sweep_targets"]
+
+
+def roofline_flops(dag: ComputeDAG, target: HardwareTarget) -> float:
+    """Roofline performance bound of a workload on a target (FLOP/s).
+
+    The classic two-ceiling model: compute-bound workloads cap at the
+    device's peak FLOP/s, memory-bound ones at arithmetic intensity times
+    DRAM bandwidth.
+    """
+    return float(
+        min(target.peak_flops, dag.arithmetic_intensity() * target.dram_bandwidth)
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Outcome of tuning one workload on one target."""
+
+    workload: str
+    target: str
+    latency: float
+    throughput: float
+    trials: int
+    source: str                  # scheduled / registry-hit / coalesced
+    roofline: float              # FLOP/s bound of (workload, target)
+    transfer_donors: Tuple[str, ...] = ()
+
+    @property
+    def roofline_fraction(self) -> float:
+        """Fraction of the roofline bound the tuned schedule achieves."""
+        return self.throughput / self.roofline if self.roofline > 0 else 0.0
+
+
+@dataclass
+class SweepReport:
+    """Cross-target latency / roofline report of one fleet sweep."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    HEADERS = (
+        "workload", "target", "best latency (ms)", "TFLOP/s",
+        "roofline TFLOP/s", "% roofline", "trials", "source", "warm-started from",
+    )
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [
+                cell.workload,
+                cell.target,
+                cell.latency * 1e3,
+                cell.throughput / 1e12,
+                cell.roofline / 1e12,
+                100.0 * cell.roofline_fraction,
+                cell.trials,
+                cell.source,
+                ",".join(cell.transfer_donors) or "-",
+            ]
+            for cell in self.cells
+        ]
+
+    def format(self, title: str = "cross-target sweep") -> str:
+        return format_table(list(self.HEADERS), self.rows(), title=title)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        return write_csv(path, list(self.HEADERS), self.rows())
+
+    def cell(self, workload: str, target: str) -> SweepCell:
+        for cell in self.cells:
+            if cell.workload == workload and cell.target == target:
+                return cell
+        raise KeyError((workload, target))
+
+    def targets(self) -> List[str]:
+        return sorted({cell.target for cell in self.cells})
+
+    def workloads(self) -> List[str]:
+        return sorted({cell.workload for cell in self.cells})
+
+    def transfer_cells(self) -> List[SweepCell]:
+        """Cells whose tuning run was warm-started from another target."""
+        return [cell for cell in self.cells if cell.transfer_donors]
+
+
+def sweep_targets(
+    dags: Sequence[ComputeDAG],
+    targets: Sequence[Union[str, HardwareTarget]],
+    n_trials: int = 32,
+    config: Optional[HARLConfig] = None,
+    seed: int = 0,
+    scheduler: str = "harl",
+    registry: Optional[ScheduleRegistry] = None,
+    catalog: Optional[TargetCatalog] = None,
+    num_workers: int = 1,
+    record_store=None,
+) -> SweepReport:
+    """Tune every workload on every target, reusing knowledge across targets.
+
+    Targets are processed in the given order over one shared registry, so
+    later targets warm-start from earlier ones (the per-cell
+    ``transfer_donors`` column shows which donor seeded each run).  Target
+    names are resolved through ``catalog`` (the built-in catalog when
+    ``None``); :class:`HardwareTarget` instances are used as-is, so derived
+    synthetic variants sweep like any preset.
+
+    ``num_workers > 1`` fans each service's measurement batches out over a
+    :class:`~repro.hardware.parallel.ParallelMeasurer` pool; results are
+    identical to a serial sweep for the same seed.
+    """
+    if not dags:
+        raise ValueError("sweep needs at least one workload")
+    if not targets:
+        raise ValueError("sweep needs at least one target")
+    catalog = catalog if catalog is not None else default_catalog()
+    registry = registry if registry is not None else ScheduleRegistry()
+    resolved = [
+        t if isinstance(t, HardwareTarget) else catalog.get(t) for t in targets
+    ]
+    report = SweepReport()
+    for target in resolved:
+        service = TuningService(
+            registry=registry,
+            target=target,
+            config=config,
+            seed=seed,
+            num_workers=num_workers,
+            record_store=record_store,
+            catalog=catalog,
+        )
+        handles = service.process(
+            [
+                TuningRequest(dag=dag, n_trials=n_trials, scheduler=scheduler)
+                for dag in dags
+            ]
+        )
+        for dag, handle in zip(dags, handles):
+            result = handle.result
+            report.cells.append(
+                SweepCell(
+                    workload=dag.name,
+                    target=target.name,
+                    latency=float(result.best_latency),
+                    throughput=float(result.best_throughput),
+                    trials=int(result.trials_used),
+                    source=handle.source,
+                    roofline=roofline_flops(dag, target),
+                    transfer_donors=tuple(result.extras.get("transfer_donors", ())),
+                )
+            )
+    return report

@@ -12,6 +12,12 @@ trial) noise seeding makes both produce identical results for the same seed.
 """
 
 from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+from repro.hardware.catalog import (
+    TargetCatalog,
+    default_catalog,
+    target_distance,
+    target_embedding,
+)
 from repro.hardware.simulator import LatencySimulator
 from repro.hardware.measurer import MeasureResult, Measurer, simulate_measurement
 from repro.hardware.parallel import ParallelMeasurer
@@ -22,7 +28,11 @@ __all__ = [
     "MeasureResult",
     "Measurer",
     "ParallelMeasurer",
+    "TargetCatalog",
     "cpu_target",
+    "default_catalog",
     "gpu_target",
     "simulate_measurement",
+    "target_distance",
+    "target_embedding",
 ]

@@ -1,0 +1,298 @@
+"""Hardware target catalog: named presets, derivation and target embeddings.
+
+The serving layer keys everything on ``(workload fingerprint, target)``, so
+the diversity of scenarios the system can handle is bounded by the diversity
+of targets it knows about.  This module grows the two paper platforms
+(:func:`~repro.hardware.target.cpu_target` /
+:func:`~repro.hardware.target.gpu_target`) into a validated
+:class:`TargetCatalog` spanning three device families:
+
+* **server CPUs** — AVX2 and AVX-512 parts from 8 to 64 cores,
+* **edge / mobile CPUs** — narrow SIMD, small caches, expensive thread
+  launches,
+* **GPU tiers** — laptop, workstation, edge-accelerator and datacenter.
+
+All numbers are nominal datasheet-level values (like the original presets):
+they feed the analytic latency model, not a calibration claim.
+
+Besides the named presets the catalog offers
+
+* :meth:`TargetCatalog.derive` — synthetic variants of a preset (``"like an
+  EPYC 7763 but with 16 cores"``), validated by
+  :class:`~repro.hardware.target.HardwareTarget` itself, and
+* :func:`target_embedding` / :func:`target_distance` — a fixed-length numeric
+  summary of a target (log core count, peak FLOPs, bandwidth, cache
+  hierarchy, overheads) whose Euclidean distance ranks how *related* two
+  devices are.  The schedule registry uses it to pick the best donor target
+  for cross-target schedule transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+
+__all__ = [
+    "TARGET_EMBEDDING_SIZE",
+    "TargetCatalog",
+    "default_catalog",
+    "target_embedding",
+    "target_distance",
+]
+
+#: Embedding layout: kind flag, core count, per-core and aggregate FLOPs,
+#: vector width, three cache levels, bandwidth, two overheads (all log2).
+TARGET_EMBEDDING_SIZE = 11
+
+#: Separation added between CPU and GPU embeddings.  Schedules structurally
+#: differ across kinds (tiling depths, unroll depths), so a same-kind donor
+#: should win over any cross-kind donor no matter how similar the datasheet
+#: numbers look.
+_KIND_GAP = 32.0
+
+
+def _log2(value: float) -> float:
+    return float(np.log2(max(float(value), 1e-12)))
+
+
+def target_embedding(target: HardwareTarget) -> np.ndarray:
+    """Fixed-length numeric summary of a hardware target.
+
+    Log-scaled so that "twice the cores" and "twice the bandwidth" count the
+    same amount everywhere on the spectrum; the kind flag dominates so
+    cross-kind (CPU↔GPU) distances always exceed same-kind ones.
+    """
+    return np.array(
+        [
+            _KIND_GAP if target.kind == "gpu" else 0.0,
+            _log2(target.num_cores),
+            _log2(target.peak_flops_per_core / 1e9),
+            _log2(target.peak_flops / 1e9),
+            _log2(target.vector_width),
+            _log2(target.l1_bytes / 1024),
+            _log2(target.l2_bytes / 1024),
+            _log2(target.l3_bytes / 1024),
+            _log2(target.dram_bandwidth / 1e9),
+            _log2(target.parallel_overhead / 1e-9 + 1.0),
+            _log2(target.kernel_overhead / 1e-9 + 1.0),
+        ],
+        dtype=np.float64,
+    )
+
+
+def target_distance(a: HardwareTarget, b: HardwareTarget) -> float:
+    """Euclidean distance between two targets' embeddings (0 = identical)."""
+    return float(np.linalg.norm(target_embedding(a) - target_embedding(b)))
+
+
+class TargetCatalog:
+    """Named, validated collection of hardware targets.
+
+    Every entry is a frozen :class:`HardwareTarget`, so registration runs the
+    dataclass's own validation — a malformed preset (zero bandwidth, negative
+    overhead, ...) fails loudly at catalog-construction time rather than
+    producing nonsense latencies later.
+    """
+
+    def __init__(self, targets: Sequence[HardwareTarget] = ()):
+        self._targets: Dict[str, HardwareTarget] = {}
+        for target in targets:
+            self.register(target)
+
+    # ------------------------------------------------------------------ #
+    # registration / lookup
+    # ------------------------------------------------------------------ #
+    def register(self, target: HardwareTarget, replace_existing: bool = False) -> HardwareTarget:
+        """Add a target; duplicate names raise unless ``replace_existing``."""
+        if not isinstance(target, HardwareTarget):
+            raise TypeError(f"expected HardwareTarget, got {type(target).__name__}")
+        if target.name in self._targets and not replace_existing:
+            raise ValueError(f"target {target.name!r} already registered")
+        self._targets[target.name] = target
+        return target
+
+    def get(self, name: str) -> HardwareTarget:
+        """Look a target up by name; raises ``KeyError`` listing known names."""
+        target = self._targets.get(name)
+        if target is None:
+            raise KeyError(
+                f"unknown target {name!r}; known targets: {', '.join(self.names())}"
+            )
+        return target
+
+    def get_optional(self, name: str) -> Optional[HardwareTarget]:
+        """Like :meth:`get` but returns ``None`` for unknown names."""
+        return self._targets.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._targets)
+
+    def by_kind(self, kind: str) -> List[HardwareTarget]:
+        return [self._targets[n] for n in self.names() if self._targets[n].kind == kind]
+
+    def __iter__(self) -> Iterator[HardwareTarget]:
+        return iter(self._targets[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._targets
+
+    # ------------------------------------------------------------------ #
+    # derivation / similarity
+    # ------------------------------------------------------------------ #
+    def derive(
+        self,
+        base: str,
+        name: str,
+        register: bool = True,
+        **overrides,
+    ) -> HardwareTarget:
+        """Build a synthetic variant of a registered preset.
+
+        ``overrides`` replace any :class:`HardwareTarget` field (``num_cores``,
+        ``dram_bandwidth``, ...); the result passes through the dataclass
+        validation, so an invalid variant raises instead of entering the
+        catalog.  By default the variant is registered under ``name``.
+        """
+        variant = replace(self.get(base), name=name, **overrides)
+        if register:
+            self.register(variant)
+        return variant
+
+    def nearest(
+        self,
+        target: HardwareTarget,
+        k: int = 3,
+        same_kind_only: bool = False,
+    ) -> List[Tuple[float, HardwareTarget]]:
+        """The ``k`` registered targets closest to ``target`` (excluding itself)."""
+        scored: List[Tuple[float, HardwareTarget]] = []
+        for candidate in self:
+            if candidate.name == target.name:
+                continue
+            if same_kind_only and candidate.kind != target.kind:
+                continue
+            scored.append((target_distance(target, candidate), candidate))
+        scored.sort(key=lambda pair: (pair[0], pair[1].name))
+        return scored[: max(k, 0)]
+
+    def describe(self, name: str) -> dict:
+        """Datasheet-style summary of one target (used by ``repro targets``)."""
+        t = self.get(name)
+        return {
+            "name": t.name,
+            "kind": t.kind,
+            "num_cores": t.num_cores,
+            "vector_width": t.vector_width,
+            "peak_gflops_per_core": t.peak_flops_per_core / 1e9,
+            "peak_tflops": t.peak_flops / 1e12,
+            "l1_kb": t.l1_bytes / 1024,
+            "l2_kb": t.l2_bytes / 1024,
+            "l3_mb": t.l3_bytes / (1024 * 1024),
+            "dram_gb_s": t.dram_bandwidth / 1e9,
+            "parallel_overhead_us": t.parallel_overhead * 1e6,
+            "kernel_overhead_us": t.kernel_overhead * 1e6,
+            "embedding": target_embedding(t).tolist(),
+        }
+
+
+def _default_targets() -> List[HardwareTarget]:
+    """The built-in presets (nominal datasheet-level numbers throughout)."""
+    return [
+        # ----- server CPUs ------------------------------------------------ #
+        cpu_target(),  # xeon-6226r: 32 cores, AVX-512 (the paper's platform)
+        HardwareTarget(
+            name="xeon-4309y", kind="cpu", num_cores=8,
+            # 2.8 GHz * 2 FMA ports * 16 fp32 lanes * 2 flops/FMA.
+            peak_flops_per_core=179.2e9, vector_width=16,
+            l1_bytes=48 * 1024, l2_bytes=1280 * 1024, l3_bytes=12 * 1024 * 1024,
+            dram_bandwidth=100e9, parallel_overhead=2.0e-6, kernel_overhead=5.0e-6,
+        ),
+        HardwareTarget(
+            name="epyc-7543", kind="cpu", num_cores=32,
+            # Zen 3, AVX2: 3.7 GHz * 2 FMA * 8 lanes * 2.
+            peak_flops_per_core=118.4e9, vector_width=8,
+            l1_bytes=32 * 1024, l2_bytes=512 * 1024, l3_bytes=32 * 1024 * 1024,
+            dram_bandwidth=204e9, parallel_overhead=2.5e-6, kernel_overhead=5.0e-6,
+        ),
+        HardwareTarget(
+            name="epyc-7763", kind="cpu", num_cores=64,
+            # Zen 3, AVX2 at the all-core base clock (2.45 GHz).
+            peak_flops_per_core=78.4e9, vector_width=8,
+            l1_bytes=32 * 1024, l2_bytes=512 * 1024, l3_bytes=32 * 1024 * 1024,
+            dram_bandwidth=204e9, parallel_overhead=3.0e-6, kernel_overhead=5.0e-6,
+        ),
+        HardwareTarget(
+            name="graviton3", kind="cpu", num_cores=64,
+            # Neoverse V1: 2.6 GHz * 2x256-bit SVE pipes (8 lanes) * 2.
+            peak_flops_per_core=83.2e9, vector_width=8,
+            l1_bytes=64 * 1024, l2_bytes=1024 * 1024, l3_bytes=32 * 1024 * 1024,
+            dram_bandwidth=300e9, parallel_overhead=2.0e-6, kernel_overhead=4.0e-6,
+        ),
+        # ----- edge / mobile CPUs ----------------------------------------- #
+        HardwareTarget(
+            name="rpi4-a72", kind="cpu", num_cores=4,
+            # Cortex-A72: 1.5 GHz * one 128-bit NEON FMA (4 lanes) * 2.
+            peak_flops_per_core=12.0e9, vector_width=4,
+            l1_bytes=32 * 1024, l2_bytes=256 * 1024, l3_bytes=1024 * 1024,
+            dram_bandwidth=4e9, parallel_overhead=20.0e-6, kernel_overhead=30.0e-6,
+        ),
+        HardwareTarget(
+            name="mobile-a715", kind="cpu", num_cores=8,
+            # Premium-phone big/mid cluster: ~2.8 GHz, 128-bit NEON.
+            peak_flops_per_core=22.4e9, vector_width=4,
+            l1_bytes=64 * 1024, l2_bytes=512 * 1024, l3_bytes=8 * 1024 * 1024,
+            dram_bandwidth=60e9, parallel_overhead=10.0e-6, kernel_overhead=15.0e-6,
+        ),
+        # ----- GPUs (laptop → edge → workstation → datacenter) ------------ #
+        HardwareTarget(
+            name="rtx-3050-laptop", kind="gpu", num_cores=20,
+            # 5.1 TFLOP/s fp32 across 20 SMs.
+            peak_flops_per_core=256.0e9, vector_width=32,
+            l1_bytes=100 * 1024, l2_bytes=256 * 1024, l3_bytes=2 * 1024 * 1024,
+            dram_bandwidth=192e9, parallel_overhead=0.5e-6, kernel_overhead=10.0e-6,
+        ),
+        HardwareTarget(
+            name="jetson-orin", kind="gpu", num_cores=16,
+            # Ampere iGPU: ~5.3 TFLOP/s fp32 across 16 SMs, LPDDR5.
+            peak_flops_per_core=330.0e9, vector_width=32,
+            l1_bytes=128 * 1024, l2_bytes=256 * 1024, l3_bytes=4 * 1024 * 1024,
+            dram_bandwidth=205e9, parallel_overhead=0.8e-6, kernel_overhead=12.0e-6,
+        ),
+        gpu_target(),  # rtx-3090: 82 SMs, 936 GB/s (the paper's platform)
+        HardwareTarget(
+            name="a100-sxm", kind="gpu", num_cores=108,
+            # 19.5 TFLOP/s fp32 across 108 SMs, HBM2e.
+            peak_flops_per_core=180.5e9, vector_width=32,
+            l1_bytes=192 * 1024, l2_bytes=512 * 1024, l3_bytes=40 * 1024 * 1024,
+            dram_bandwidth=1555e9, parallel_overhead=0.4e-6, kernel_overhead=8.0e-6,
+        ),
+        HardwareTarget(
+            name="h100-sxm", kind="gpu", num_cores=132,
+            # 67 TFLOP/s fp32 across 132 SMs, HBM3.
+            peak_flops_per_core=507.5e9, vector_width=32,
+            l1_bytes=228 * 1024, l2_bytes=512 * 1024, l3_bytes=50 * 1024 * 1024,
+            dram_bandwidth=3350e9, parallel_overhead=0.3e-6, kernel_overhead=8.0e-6,
+        ),
+    ]
+
+
+_DEFAULT_CATALOG: Optional[TargetCatalog] = None
+
+
+def default_catalog() -> TargetCatalog:
+    """The process-wide built-in catalog (built once, then shared).
+
+    Callers that mutate the catalog (``register`` / ``derive``) share those
+    mutations process-wide; build a private ``TargetCatalog`` for isolation.
+    """
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = TargetCatalog(_default_targets())
+    return _DEFAULT_CATALOG

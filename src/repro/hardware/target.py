@@ -1,9 +1,11 @@
 """Hardware target descriptions.
 
-The two presets mirror the evaluation platforms of the paper (Appendix A.2):
-an Intel Xeon 6226R (32 cores, AVX-512) and an Nvidia GeForce RTX 3090.  All
-numbers feed the analytic latency model; they are nominal datasheet-level
-values, not calibrated measurements.
+The two presets here mirror the evaluation platforms of the paper (Appendix
+A.2): an Intel Xeon 6226R (32 cores, AVX-512) and an Nvidia GeForce RTX
+3090.  The full device catalog — server CPUs, edge/mobile CPUs, GPU tiers,
+synthetic variants and target embeddings — lives in
+:mod:`repro.hardware.catalog`.  All numbers feed the analytic latency model;
+they are nominal datasheet-level values, not calibrated measurements.
 """
 
 from __future__ import annotations
@@ -62,8 +64,19 @@ class HardwareTarget:
     def __post_init__(self) -> None:
         if self.kind not in ("cpu", "gpu"):
             raise ValueError(f"unknown target kind {self.kind!r}")
+        if not self.name:
+            raise ValueError("target name must be non-empty")
         if self.num_cores < 1:
             raise ValueError("num_cores must be >= 1")
+        if self.vector_width < 1:
+            raise ValueError("vector_width must be >= 1")
+        for attr in ("peak_flops_per_core", "l1_bytes", "l2_bytes", "l3_bytes",
+                     "dram_bandwidth"):
+            if not getattr(self, attr) > 0:
+                raise ValueError(f"{attr} must be positive")
+        for attr in ("parallel_overhead", "kernel_overhead"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
 
     @property
     def peak_flops(self) -> float:

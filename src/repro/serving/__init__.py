@@ -24,6 +24,7 @@ __all__ = [
     "embedding_distance",
     "RegistryEntry",
     "ScheduleRegistry",
+    "TransferCandidate",
     "TuningRequest",
     "JobHandle",
     "TuningService",
@@ -35,6 +36,7 @@ _EXPORTS = {
     "embedding_distance": "repro.serving.fingerprint",
     "RegistryEntry": "repro.serving.registry",
     "ScheduleRegistry": "repro.serving.registry",
+    "TransferCandidate": "repro.serving.registry",
     "TuningRequest": "repro.serving.service",
     "JobHandle": "repro.serving.service",
     "TuningService": "repro.serving.service",
@@ -46,7 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         structural_fingerprint,
         workload_embedding,
     )
-    from repro.serving.registry import RegistryEntry, ScheduleRegistry  # noqa: F401
+    from repro.serving.registry import (  # noqa: F401
+        RegistryEntry,
+        ScheduleRegistry,
+        TransferCandidate,
+    )
     from repro.serving.service import (  # noqa: F401
         JobHandle,
         TuningRequest,

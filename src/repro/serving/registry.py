@@ -26,6 +26,17 @@ a *new* workload can borrow the best schedule of its closest registered
 relative; :meth:`warm_start_schedules` packages both into ready-to-measure
 :class:`~repro.tensor.schedule.Schedule` objects (tile sizes are re-fitted
 to the new extents when the relative's shape differs).
+
+When a target has no registered entries yet, :meth:`cross_target_candidates`
+falls back *across* targets: donors are ranked by the sum of workload
+embedding distance and hardware :func:`~repro.hardware.catalog.target_distance`
+(so a close cousin device with the exact workload beats a remote device, and
+same-kind donors always beat cross-kind ones), and the borrowed schedule is
+re-fitted to the destination device — tiling depths, innermost tile sizes
+rounded to the destination ``vector_width``, register/L1 working set shrunk
+to its cache capacities, and the unroll depth mapped onto the destination's
+candidate list.  Results recorded after a cross-target warm start carry the
+donor target in their provenance (``RegistryEntry.donor_target``).
 """
 
 from __future__ import annotations
@@ -37,17 +48,19 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.hardware.catalog import default_catalog, target_distance
+from repro.hardware.target import HardwareTarget
 from repro.serving.fingerprint import (
     embedding_distance,
     structural_fingerprint,
     workload_embedding,
 )
-from repro.tensor.dag import ComputeDAG
+from repro.tensor.dag import DTYPE_BYTES, ComputeDAG
 from repro.tensor.factors import prime_factors, product
 from repro.tensor.schedule import Schedule
 from repro.tensor.sketch import generate_sketches
 
-__all__ = ["RegistryEntry", "ScheduleRegistry"]
+__all__ = ["RegistryEntry", "ScheduleRegistry", "TransferCandidate"]
 
 
 @dataclass(frozen=True)
@@ -56,7 +69,9 @@ class RegistryEntry:
 
     ``schedule`` is the structural serialisation produced by
     :func:`~repro.records.schedule_to_dict`; ``source`` records provenance
-    (which runner / service tenant / import produced the entry).
+    (which runner / service tenant / import produced the entry) and
+    ``donor_target`` names the target(s) whose registered schedules
+    warm-started the run that produced this entry (empty for cold runs).
     """
 
     fingerprint: str
@@ -69,6 +84,7 @@ class RegistryEntry:
     schedule: Optional[dict]
     embedding: Tuple[float, ...] = ()
     source: str = ""
+    donor_target: str = ""
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -86,6 +102,7 @@ class RegistryEntry:
             "schedule": self.schedule,
             "embedding": list(self.embedding),
             "source": self.source,
+            "donor_target": self.donor_target,
         }
 
     @staticmethod
@@ -101,7 +118,40 @@ class RegistryEntry:
             schedule=data.get("schedule"),
             embedding=tuple(float(v) for v in data.get("embedding", ())),
             source=data.get("source", ""),
+            donor_target=data.get("donor_target", ""),
         )
+
+
+@dataclass(frozen=True)
+class TransferCandidate:
+    """One warm-start schedule plus its provenance.
+
+    ``donor`` is the registry entry the schedule was borrowed from;
+    ``cross_target`` marks candidates transferred from a *different* hardware
+    target (with ``target_distance`` the embedding distance between donor and
+    destination device — 0.0 for same-target transfers).
+    """
+
+    schedule: Schedule
+    donor: RegistryEntry
+    target_distance: float = 0.0
+    cross_target: bool = False
+
+
+def _reshape_reference(reference: Sequence[int], levels: int) -> List[int]:
+    """Re-shape a donor tile-size list to a new tiling depth.
+
+    Innermost (vector / register) tiles carry the transferable structure, so
+    surplus *outer* levels are folded together and missing outer levels are
+    padded with 1 — the innermost entries always survive verbatim.
+    """
+    ref = [max(int(v), 1) for v in reference]
+    if len(ref) > levels:
+        keep = levels - 1
+        ref = [product(ref[: len(ref) - keep])] + ref[len(ref) - keep:]
+    elif len(ref) < levels:
+        ref = [1] * (levels - len(ref)) + ref
+    return ref
 
 
 def _fit_tile_sizes(extent: int, levels: int, reference: Sequence[int]) -> List[int]:
@@ -224,11 +274,15 @@ class ScheduleRegistry:
             self._append(entry)
         return accepted
 
-    def record_result(self, dag: ComputeDAG, target, result, source: str = "") -> bool:
+    def record_result(
+        self, dag: ComputeDAG, target, result, source: str = "", donor_target: str = ""
+    ) -> bool:
         """Record a :class:`~repro.core.tuner.TuningResult` for a DAG.
 
         ``target`` is a :class:`~repro.hardware.target.HardwareTarget` (or its
-        name).  Results without a schedule or a finite latency are ignored.
+        name).  ``donor_target`` records cross-target transfer provenance:
+        the target(s) whose registered schedules warm-started this run.
+        Results without a schedule or a finite latency are ignored.
         """
         from repro.records import schedule_to_dict  # local import: records imports us
 
@@ -247,6 +301,7 @@ class ScheduleRegistry:
                 schedule=schedule_to_dict(result.best_schedule),
                 embedding=tuple(workload_embedding(dag).tolist()),
                 source=source,
+                donor_target=donor_target,
             )
         )
 
@@ -292,6 +347,53 @@ class ScheduleRegistry:
         scored.sort(key=lambda pair: (pair[0], pair[1].fingerprint))
         return scored[: max(k, 0)]
 
+    def cross_target_candidates(
+        self,
+        dag: ComputeDAG,
+        target: HardwareTarget,
+        catalog=None,
+        k: int = 4,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        """Donor entries from *other* targets, best transfer prospects first.
+
+        Candidates are ranked by the sum of workload embedding distance
+        (0 for the exact fingerprint) and donor↔destination
+        :func:`~repro.hardware.catalog.target_distance`, so the exact workload
+        on a cousin device outranks a vaguely similar workload on a remote
+        one, and the CPU/GPU kind gap keeps same-kind donors first.  Donor
+        target names are resolved to embeddings through ``catalog`` (the
+        built-in :func:`~repro.hardware.catalog.default_catalog` when
+        ``None``); entries on unknown targets are skipped.
+
+        Returns ``(target distance, entry)`` pairs.
+        """
+        if not isinstance(target, HardwareTarget):
+            return []
+        catalog = catalog if catalog is not None else default_catalog()
+        fingerprint = structural_fingerprint(dag)
+        query = workload_embedding(dag)
+        distances: Dict[str, float] = {}
+        scored: List[Tuple[float, float, RegistryEntry]] = []
+        for entry in self._best.values():
+            if entry.target == target.name or entry.schedule is None:
+                continue
+            t_dist = distances.get(entry.target)
+            if t_dist is None:
+                donor = catalog.get_optional(entry.target)
+                t_dist = target_distance(target, donor) if donor is not None else -1.0
+                distances[entry.target] = t_dist
+            if t_dist < 0:
+                continue
+            if entry.fingerprint == fingerprint:
+                w_dist = 0.0
+            elif entry.embedding:
+                w_dist = embedding_distance(query, entry.embedding)
+            else:
+                continue
+            scored.append((w_dist + t_dist, t_dist, entry))
+        scored.sort(key=lambda item: (item[0], item[2].fingerprint, item[2].target))
+        return [(t_dist, entry) for _score, t_dist, entry in scored[: max(k, 0)]]
+
     def stats(self) -> dict:
         """Aggregate registry statistics (entries, shards, stale lines, ...)."""
         targets = sorted({entry.target for entry in self._best.values()})
@@ -319,27 +421,42 @@ class ScheduleRegistry:
     # ------------------------------------------------------------------ #
     # warm starts
     # ------------------------------------------------------------------ #
-    def warm_start_schedules(
+    def warm_start_transfers(
         self,
         dag: ComputeDAG,
         target,
         max_candidates: int = 4,
-    ) -> List[Schedule]:
-        """Ready-to-measure warm-start schedules for a DAG on one target.
+        catalog=None,
+        cross_target: bool = True,
+    ) -> List[TransferCandidate]:
+        """Warm-start schedules for a DAG on one target, with provenance.
 
         An exact structural hit contributes its stored schedule verbatim
         (restored against ``dag``); nearest registered relatives contribute
-        schedules whose tile sizes are re-fitted to the new extents.  Returns
-        at most ``max_candidates`` schedules, exact hit first.
+        schedules whose tile sizes are re-fitted to the new extents.  When the
+        destination target still has fewer than ``max_candidates`` donors, the
+        lookup falls back across targets (:meth:`cross_target_candidates`) and
+        re-fits the borrowed schedules to the destination device.  Candidates
+        arrive best-first: exact hit, same-target relatives, cross-target
+        donors.
         """
         from repro.records import schedule_from_dict  # records imports us
 
-        out: List[Schedule] = []
+        out: List[TransferCandidate] = []
+        seen: set = set()
+
+        def push(schedule: Schedule, donor: RegistryEntry, t_dist: float, cross: bool) -> None:
+            key = schedule.signature()
+            if key not in seen:
+                seen.add(key)
+                out.append(TransferCandidate(schedule, donor, t_dist, cross))
+
         exact = self.lookup(dag, target)
         if exact is not None and exact.schedule is not None:
             try:
-                out.append(
-                    schedule_from_dict(exact.schedule, dag, check_workload=False)
+                push(
+                    schedule_from_dict(exact.schedule, dag, check_workload=False),
+                    exact, 0.0, False,
                 )
             except (KeyError, TypeError, ValueError):
                 # Malformed stored schedule (older format / torn write):
@@ -352,8 +469,47 @@ class ScheduleRegistry:
                 continue
             adapted = self._adapt_schedule(entry.schedule, dag)
             if adapted is not None:
-                out.append(adapted)
+                push(adapted, entry, 0.0, False)
+        if cross_target and len(out) < max_candidates and isinstance(target, HardwareTarget):
+            remaining = max_candidates - len(out)
+            donors: List[Tuple[RegistryEntry, float, List[Schedule]]] = []
+            for t_dist, entry in self.cross_target_candidates(
+                dag, target, catalog=catalog, k=remaining
+            ):
+                adapted = self._adapt_schedule_to_target(entry.schedule, dag, target)
+                if adapted is not None:
+                    donors.append(
+                        (entry, t_dist, self._target_variants(adapted, remaining))
+                    )
+            # Round-robin across donors: every donor's straight adaptation is
+            # proposed before any donor's ensemble variants, so one donor
+            # cannot crowd the others out of the measurement budget.
+            level = 0
+            while len(out) < max_candidates and any(
+                level < len(ensemble) for _e, _d, ensemble in donors
+            ):
+                for entry, t_dist, ensemble in donors:
+                    if level < len(ensemble) and len(out) < max_candidates:
+                        push(ensemble[level], entry, t_dist, True)
+                level += 1
         return out[:max_candidates]
+
+    def warm_start_schedules(
+        self,
+        dag: ComputeDAG,
+        target,
+        max_candidates: int = 4,
+        catalog=None,
+        cross_target: bool = True,
+    ) -> List[Schedule]:
+        """Ready-to-measure warm-start schedules (see :meth:`warm_start_transfers`)."""
+        return [
+            candidate.schedule
+            for candidate in self.warm_start_transfers(
+                dag, target, max_candidates=max_candidates,
+                catalog=catalog, cross_target=cross_target,
+            )
+        ]
 
     @staticmethod
     def _adapt_schedule(data: dict, dag: ComputeDAG) -> Optional[Schedule]:
@@ -395,6 +551,131 @@ class ScheduleRegistry:
                     int(data.get("unroll_index", 0)), len(unroll_depths) - 1
                 ),
                 unroll_depths=unroll_depths,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _target_variants(schedule: Schedule, limit: int) -> List[Schedule]:
+        """Small ensemble of near variants of one transferred schedule.
+
+        Cross-target transfer is uncertain — the donor's optimal unroll depth
+        and parallelism rarely survive a change of vector width, cache sizes
+        or core count exactly — so the straight adaptation is proposed
+        together with its unroll and parallelism neighbours and the
+        destination's measurements arbitrate.  The straight adaptation is
+        always first.
+        """
+        out = [schedule]
+        for index in range(len(schedule.unroll_depths)):
+            if index != schedule.unroll_index:
+                variant = schedule.copy()
+                variant.unroll_index = index
+                out.append(variant)
+        if schedule.num_parallel > 1:
+            variant = schedule.copy()
+            variant.num_parallel = schedule.num_parallel - 1
+            out.append(variant)
+        if schedule.num_parallel < schedule.max_parallel:
+            variant = schedule.copy()
+            variant.num_parallel = schedule.num_parallel + 1
+            out.append(variant)
+        return out[: max(limit, 0)]
+
+    @staticmethod
+    def _adapt_schedule_to_target(
+        data: dict, dag: ComputeDAG, target: HardwareTarget
+    ) -> Optional[Schedule]:
+        """Transfer a stored schedule onto a *different* hardware target.
+
+        Unlike :meth:`_adapt_schedule` (same target, similar workload), the
+        donor's tiling depths, vector width, cache capacities and unroll
+        candidates may all differ from the destination's.  The sketch family
+        is regenerated at the destination's tiling depths; each donor
+        tile-size list is re-shaped to the new depth (innermost tiles
+        preserved), the innermost spatial tile is rounded to a multiple of
+        the destination ``vector_width``, the register/L1 working set is
+        shrunk until it fits ``l1_bytes``, and the unroll depth is mapped to
+        the nearest destination candidate.  Returns ``None`` when no sketch
+        of ``dag`` at the destination depths matches the stored rule.
+        """
+        try:
+            sketches = generate_sketches(
+                dag,
+                spatial_levels=target.sketch_spatial_levels,
+                reduction_levels=target.sketch_reduction_levels,
+            )
+        except (TypeError, ValueError):
+            return None
+        matches = [s for s in sketches if s.key == data.get("sketch_key")]
+        if not matches:
+            return None
+        sketch = matches[0]
+        try:
+            reference = [list(map(int, sizes)) for sizes in data.get("tile_sizes", [])]
+            refs: List[List[int]] = []
+            for idx, (_name, _kind, _extent, levels) in enumerate(sketch.tiled_iters):
+                ref = reference[idx] if idx < len(reference) else []
+                refs.append(_reshape_reference(ref, levels))
+
+            spatial_idx = [
+                i for i, (_n, kind, _e, _l) in enumerate(sketch.tiled_iters)
+                if kind == "spatial"
+            ]
+            reduction_idx = [
+                i for i, (_n, kind, _e, _l) in enumerate(sketch.tiled_iters)
+                if kind == "reduction"
+            ]
+            vw = target.vector_width
+            if spatial_idx:
+                # The innermost spatial tile is the vectorised axis: round the
+                # donor's size to a whole number of destination SIMD lanes.
+                vec = refs[spatial_idx[-1]]
+                vec[-1] = max(vw, vw * max(1, round(vec[-1] / vw)))
+            # Shrink the register/L1 tile until it fits the destination cache:
+            # the footprint is the innermost spatial tile volume streamed over
+            # the innermost reduction tile (cf. the simulator's cache model).
+            def l1_footprint() -> float:
+                sp = product([refs[i][-1] for i in spatial_idx]) if spatial_idx else 1
+                red = product([refs[i][-1] for i in reduction_idx]) if reduction_idx else 1
+                return DTYPE_BYTES * sp * max(red, 1)
+
+            while l1_footprint() > target.l1_bytes:
+                shrinkable = [
+                    i for i in spatial_idx + reduction_idx
+                    if refs[i][-1] > (vw if spatial_idx and i == spatial_idx[-1] else 1)
+                ]
+                if not shrinkable:
+                    break
+                largest = max(shrinkable, key=lambda i: refs[i][-1])
+                value = refs[largest][-1] // 2
+                if spatial_idx and largest == spatial_idx[-1]:
+                    # The vectorised axis must stay a whole number of lanes.
+                    value = max(vw * (value // vw), vw)
+                refs[largest][-1] = max(value, 1)
+
+            tile_sizes = [
+                _fit_tile_sizes(int(extent), int(levels), refs[idx])
+                for idx, (_name, _kind, extent, levels) in enumerate(sketch.tiled_iters)
+            ]
+
+            donor_depths = [int(d) for d in data.get("unroll_depths", (0,))] or [0]
+            donor_index = min(int(data.get("unroll_index", 0)), len(donor_depths) - 1)
+            donor_depth = donor_depths[max(donor_index, 0)]
+            depths = target.unroll_depths
+            unroll_index = min(
+                range(len(depths)), key=lambda i: (abs(depths[i] - donor_depth), i)
+            )
+
+            n_candidates = len(dag.compute_at_candidates())
+            max_parallel = len(dag.main_stage.spatial_iters)
+            return Schedule(
+                sketch=sketch,
+                tile_sizes=tile_sizes,
+                compute_at_index=min(int(data.get("compute_at_index", 0)), n_candidates - 1),
+                num_parallel=min(int(data.get("num_parallel", 1)), max_parallel),
+                unroll_index=unroll_index,
+                unroll_depths=tuple(depths),
             )
         except (KeyError, TypeError, ValueError):
             return None

@@ -128,6 +128,13 @@ class TuningService:
         Optional :class:`~repro.records.RecordStore`; every measurement of
         every job is streamed into it (tagged per workload), giving the
         service one consolidated, resumable measurement log.
+    catalog:
+        :class:`~repro.hardware.catalog.TargetCatalog` used to resolve donor
+        targets for cross-target transfer warm starts (defaults to the
+        built-in catalog).  When a workload has no donors on the service's
+        own target, the registry borrows the best schedule of the closest
+        related device and re-fits it; the donor target is recorded in the
+        finished job's registry provenance.
     scheduler_factory:
         Override job construction: ``factory(name, seed, warm_start_provider)
         -> scheduler``.  The default builds :class:`HARLScheduler` /
@@ -148,7 +155,8 @@ class TuningService:
         num_workers: int = 1,
         scheduler_factory: Optional[Callable[..., object]] = None,
         warm_start: bool = True,
-        max_warm_start: int = 4,
+        max_warm_start: int = 6,
+        catalog=None,
     ):
         self.registry = registry if registry is not None else ScheduleRegistry()
         self.target = target or cpu_target()
@@ -159,9 +167,11 @@ class TuningService:
         self.scheduler_factory = scheduler_factory
         self.warm_start = bool(warm_start)
         self.max_warm_start = int(max_warm_start)
+        self.catalog = catalog
         self._lock = threading.Lock()
         self._jobs: Dict[Tuple[str, str], _Job] = {}
         self._order: List[Tuple[str, str]] = []  # FIFO tie-break for allocation
+        self._transfer_donors: Dict[str, List[str]] = {}  # fingerprint -> donors
         self.jobs_created = 0
         self.registry_hits = 0
         self.coalesced_requests = 0
@@ -175,7 +185,14 @@ class TuningService:
         registry, target, k = self.registry, self.target, self.max_warm_start
 
         def provider(dag: ComputeDAG):
-            return registry.warm_start_schedules(dag, target, max_candidates=k)
+            candidates = registry.warm_start_transfers(
+                dag, target, max_candidates=k, catalog=self.catalog
+            )
+            donors = sorted({c.donor.target for c in candidates if c.cross_target})
+            if donors:
+                with self._lock:
+                    self._transfer_donors[structural_fingerprint(dag)] = donors
+            return [c.schedule for c in candidates]
 
         return provider
 
@@ -338,11 +355,16 @@ class TuningService:
         result = job.scheduler.finalize(job.dag)
         result.extras["fingerprint"] = job.key[0]
         result.extras["tenants"] = list(job.tenants)
+        with self._lock:
+            donors = self._transfer_donors.pop(job.key[0], [])
+        if donors:
+            result.extras["transfer_donors"] = donors
         self.registry.record_result(
             job.dag,
             self.target,
             result,
             source=f"service:{','.join(sorted(set(job.tenants)))}",
+            donor_target=",".join(donors),
         )
         with self._lock:
             self._jobs.pop(job.key, None)

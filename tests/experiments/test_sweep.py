@@ -1,0 +1,121 @@
+"""Tests for the cross-target fleet sweep runner and its report artifact."""
+
+import csv
+
+import pytest
+
+from repro.experiments.sweep import SweepReport, roofline_flops, sweep_targets
+from repro.hardware.catalog import default_catalog
+from repro.serving.registry import ScheduleRegistry
+from repro.tensor.workloads import conv1d, gemm
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture
+def dags():
+    return [gemm(64, 64, 64), conv1d(64, 16, 32, 3, 1, 1)]
+
+
+@pytest.fixture
+def report(dags, tiny_config):
+    return sweep_targets(
+        dags, ["xeon-6226r", "epyc-7543"], n_trials=8, config=tiny_config, seed=0
+    )
+
+
+class TestRoofline:
+    def test_bound_is_min_of_compute_and_memory_ceilings(self, catalog):
+        dag = gemm(1024, 1024, 1024)
+        target = catalog.get("xeon-6226r")
+        expected = min(target.peak_flops,
+                       dag.arithmetic_intensity() * target.dram_bandwidth)
+        assert roofline_flops(dag, target) == pytest.approx(expected)
+
+    def test_memory_bound_workload_caps_below_peak(self, catalog):
+        # An elementwise-ish tiny GEMM is bandwidth-bound on every server CPU.
+        dag = gemm(16, 4, 16)
+        target = catalog.get("xeon-6226r")
+        assert roofline_flops(dag, target) < target.peak_flops
+
+
+class TestSweepTargets:
+    def test_one_cell_per_workload_target_pair(self, report, dags):
+        assert len(report.cells) == len(dags) * 2
+        assert report.targets() == ["epyc-7543", "xeon-6226r"]
+        assert sorted(report.workloads()) == sorted(dag.name for dag in dags)
+
+    def test_cells_carry_tuned_results_and_roofline(self, report, dags, catalog):
+        for dag in dags:
+            for target_name in report.targets():
+                cell = report.cell(dag.name, target_name)
+                assert cell.latency > 0 and cell.trials >= 8
+                assert cell.roofline == pytest.approx(
+                    roofline_flops(dag, catalog.get(target_name))
+                )
+                assert 0 < cell.roofline_fraction < 1
+
+    def test_later_targets_warm_start_from_earlier_ones(self, report):
+        transfers = report.transfer_cells()
+        # The first target tunes cold; every second-target run transfers.
+        assert {cell.target for cell in transfers} == {"epyc-7543"}
+        assert all(cell.transfer_donors == ("xeon-6226r",) for cell in transfers)
+        first = [cell for cell in report.cells if cell.target == "xeon-6226r"]
+        assert all(cell.transfer_donors == () for cell in first)
+
+    def test_shared_registry_accumulates_every_pair(self, dags, tiny_config):
+        registry = ScheduleRegistry()
+        sweep_targets(dags, ["xeon-6226r", "epyc-7543"], n_trials=8,
+                      config=tiny_config, seed=0, registry=registry)
+        assert len(registry) == len(dags) * 2
+        stats = registry.stats()
+        assert sorted(stats["targets"]) == ["epyc-7543", "xeon-6226r"]
+
+    def test_accepts_hardware_target_instances(self, dags, tiny_config, catalog):
+        variant = catalog.derive("xeon-6226r", name="xeon-6226r-sweep-8c",
+                                 register=False, num_cores=8)
+        report = sweep_targets(dags[:1], [variant], n_trials=8, config=tiny_config)
+        assert report.cells[0].target == "xeon-6226r-sweep-8c"
+
+    def test_unknown_target_name_raises(self, dags, tiny_config):
+        with pytest.raises(KeyError):
+            sweep_targets(dags, ["not-a-device"], n_trials=8, config=tiny_config)
+
+    def test_empty_inputs_raise(self, dags, tiny_config):
+        with pytest.raises(ValueError):
+            sweep_targets([], ["xeon-6226r"], config=tiny_config)
+        with pytest.raises(ValueError):
+            sweep_targets(dags, [], config=tiny_config)
+
+    def test_sweep_is_deterministic_for_a_seed(self, dags, tiny_config):
+        a = sweep_targets(dags, ["xeon-6226r", "epyc-7543"], n_trials=8,
+                          config=tiny_config, seed=0)
+        b = sweep_targets(dags, ["xeon-6226r", "epyc-7543"], n_trials=8,
+                          config=tiny_config, seed=0)
+        assert [c.latency for c in a.cells] == [c.latency for c in b.cells]
+
+
+class TestReportArtifact:
+    def test_format_renders_every_cell(self, report):
+        text = report.format()
+        assert "xeon-6226r" in text and "epyc-7543" in text
+        assert "% roofline" in text
+        assert text.count("\n") >= len(report.cells)
+
+    def test_csv_artifact_round_trips(self, report, tmp_path):
+        path = report.write_csv(tmp_path / "artifacts" / "sweep.csv")
+        assert path.exists()
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(SweepReport.HEADERS)
+        assert len(rows) == len(report.cells) + 1
+        # Transfer provenance survives the CSV round trip.
+        donor_column = [row[-1] for row in rows[1:]]
+        assert "xeon-6226r" in donor_column
+
+    def test_missing_cell_raises(self, report):
+        with pytest.raises(KeyError):
+            report.cell("no-such-workload", "xeon-6226r")

@@ -1,0 +1,145 @@
+"""Unit tests for the hardware target catalog and target embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import (
+    TARGET_EMBEDDING_SIZE,
+    TargetCatalog,
+    default_catalog,
+    target_distance,
+    target_embedding,
+)
+from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+class TestDefaultCatalog:
+    def test_ships_at_least_ten_presets(self, catalog):
+        assert len(catalog) >= 10
+
+    def test_includes_both_paper_platforms(self, catalog):
+        assert "xeon-6226r" in catalog
+        assert "rtx-3090" in catalog
+        assert catalog.get("xeon-6226r") == cpu_target()
+        assert catalog.get("rtx-3090") == gpu_target()
+
+    def test_spans_cpu_and_gpu_families(self, catalog):
+        cpus = catalog.by_kind("cpu")
+        gpus = catalog.by_kind("gpu")
+        assert len(cpus) >= 4 and len(gpus) >= 3
+        # Server CPUs from 8 to 64 cores plus a narrow-SIMD edge device.
+        cores = {t.num_cores for t in cpus}
+        assert min(cores) <= 8 and max(cores) >= 64
+        assert any(t.vector_width <= 4 for t in cpus)
+
+    def test_every_preset_is_validated(self, catalog):
+        for target in catalog:
+            assert target.peak_flops > 0
+            assert target.l1_bytes <= target.l3_bytes * 64  # sane hierarchy scale
+            assert target.parallel_overhead >= 0
+
+    def test_iteration_is_sorted_by_name(self, catalog):
+        names = [t.name for t in catalog]
+        assert names == sorted(names) == catalog.names()
+
+    def test_default_catalog_is_shared(self):
+        assert default_catalog() is default_catalog()
+
+    def test_unknown_name_lists_known_targets(self, catalog):
+        with pytest.raises(KeyError, match="xeon-6226r"):
+            catalog.get("tpu-v9000")
+        assert catalog.get_optional("tpu-v9000") is None
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        cat = TargetCatalog([cpu_target()])
+        with pytest.raises(ValueError, match="already registered"):
+            cat.register(cpu_target())
+        cat.register(cpu_target(), replace_existing=True)
+        assert len(cat) == 1
+
+    def test_non_target_rejected(self):
+        with pytest.raises(TypeError):
+            TargetCatalog().register("xeon-6226r")
+
+    def test_malformed_preset_fails_loudly(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="dram_bandwidth"):
+            TargetCatalog([replace(cpu_target(), dram_bandwidth=0.0)])
+
+
+class TestDerive:
+    def test_derive_registers_a_validated_variant(self):
+        cat = TargetCatalog([cpu_target()])
+        variant = cat.derive("xeon-6226r", name="xeon-6226r-8c", num_cores=8)
+        assert "xeon-6226r-8c" in cat
+        assert variant.num_cores == 8
+        # Non-overridden fields are inherited.
+        assert variant.vector_width == cpu_target().vector_width
+
+    def test_derive_without_register(self):
+        cat = TargetCatalog([cpu_target()])
+        cat.derive("xeon-6226r", name="scratch", register=False, num_cores=2)
+        assert "scratch" not in cat
+
+    def test_invalid_derivation_raises(self):
+        cat = TargetCatalog([cpu_target()])
+        with pytest.raises(ValueError):
+            cat.derive("xeon-6226r", name="broken", num_cores=0)
+        assert "broken" not in cat
+
+    def test_derive_from_unknown_base_raises(self):
+        with pytest.raises(KeyError):
+            TargetCatalog().derive("nope", name="x")
+
+
+class TestEmbeddings:
+    def test_embedding_shape_and_determinism(self):
+        emb = target_embedding(cpu_target())
+        assert emb.shape == (TARGET_EMBEDDING_SIZE,)
+        assert np.array_equal(emb, target_embedding(cpu_target()))
+
+    def test_self_distance_is_zero(self):
+        assert target_distance(cpu_target(), cpu_target()) == 0.0
+
+    def test_kind_gap_dominates(self, catalog):
+        """Any same-kind pair is closer than any cross-kind pair."""
+        cpus, gpus = catalog.by_kind("cpu"), catalog.by_kind("gpu")
+        max_same = max(
+            max(target_distance(a, b) for a in cpus for b in cpus),
+            max(target_distance(a, b) for a in gpus for b in gpus),
+        )
+        min_cross = min(target_distance(c, g) for c in cpus for g in gpus)
+        assert max_same < min_cross
+
+    def test_derived_variant_is_nearest_to_its_base(self, catalog):
+        base = catalog.get("epyc-7763")
+        variant = catalog.derive("epyc-7763", name="epyc-7763-48c",
+                                 register=False, num_cores=48)
+        distances = sorted(
+            (target_distance(variant, t), t.name) for t in catalog
+        )
+        assert distances[0][1] == base.name
+
+    def test_nearest_excludes_self_and_respects_kind_filter(self, catalog):
+        xeon = catalog.get("xeon-6226r")
+        neighbors = catalog.nearest(xeon, k=100)
+        assert all(t.name != "xeon-6226r" for _d, t in neighbors)
+        same_kind = catalog.nearest(xeon, k=100, same_kind_only=True)
+        assert all(t.kind == "cpu" for _d, t in same_kind)
+
+
+class TestDescribe:
+    def test_describe_contains_datasheet_and_embedding(self, catalog):
+        d = catalog.describe("rtx-3090")
+        assert d["kind"] == "gpu"
+        assert d["num_cores"] == 82
+        assert d["peak_tflops"] == pytest.approx(82 * 434.0e9 / 1e12)
+        assert len(d["embedding"]) == TARGET_EMBEDDING_SIZE

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
+from repro.hardware.catalog import default_catalog
 from repro.hardware.measurer import Measurer
 from repro.hardware.parallel import ParallelMeasurer
 from repro.tensor.sampler import sample_initial_schedules
@@ -99,19 +100,32 @@ class TestDeterministicNoise:
 
 
 class TestSchedulerRegression:
-    """Full tuning runs: serial and parallel measurement must match exactly."""
+    """Full tuning runs: serial and parallel measurement must match exactly.
 
-    def test_harl_serial_vs_parallel_same_best(self, tiny_config, cpu):
+    Parametrized over catalog targets spanning both kinds and all three
+    device families — the determinism contract is per-target (noise streams
+    and tiling structures differ across targets), so one CPU preset passing
+    says nothing about the others.
+    """
+
+    @pytest.mark.parametrize("target_name", [
+        "xeon-6226r",   # AVX-512 server CPU (the paper platform)
+        "epyc-7543",    # AVX2 server CPU (narrower SIMD, bigger L3)
+        "rpi4-a72",     # edge CPU (4 cores, NEON, high overheads)
+        "rtx-3090",     # GPU (deeper tiling structure, 5-deep unrolls)
+    ])
+    def test_harl_serial_vs_parallel_same_best(self, tiny_config, target_name):
+        target = default_catalog().get(target_name)
         dag = gemm(128, 128, 128)
-        serial = HARLScheduler(target=cpu, config=tiny_config, seed=0).tune(dag, n_trials=16)
+        serial = HARLScheduler(target=target, config=tiny_config, seed=0).tune(dag, n_trials=16)
 
         measurer = ParallelMeasurer(
-            cpu, num_workers=4, seed=0,
+            target, num_workers=4, seed=0,
             min_repeat_seconds=tiny_config.min_repeat_seconds,
         )
         with measurer:
             parallel = HARLScheduler(
-                target=cpu, config=tiny_config, seed=0, measurer=measurer
+                target=target, config=tiny_config, seed=0, measurer=measurer
             ).tune(dag, n_trials=16)
 
         assert parallel.best_latency == serial.best_latency

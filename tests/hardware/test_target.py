@@ -62,3 +62,39 @@ class TestValidation:
         kwargs["num_cores"] = 0
         with pytest.raises(ValueError):
             HardwareTarget(**kwargs)
+
+    def test_rejects_empty_name(self):
+        kwargs = self._base_kwargs()
+        kwargs["name"] = ""
+        with pytest.raises(ValueError, match="name"):
+            HardwareTarget(**kwargs)
+
+    def test_rejects_zero_vector_width(self):
+        kwargs = self._base_kwargs()
+        kwargs["vector_width"] = 0
+        with pytest.raises(ValueError, match="vector_width"):
+            HardwareTarget(**kwargs)
+
+    @pytest.mark.parametrize("attr", [
+        "peak_flops_per_core", "l1_bytes", "l2_bytes", "l3_bytes",
+        "dram_bandwidth",
+    ])
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_rejects_non_positive_capacities(self, attr, value):
+        kwargs = self._base_kwargs()
+        kwargs[attr] = value
+        with pytest.raises(ValueError, match=attr):
+            HardwareTarget(**kwargs)
+
+    @pytest.mark.parametrize("attr", ["parallel_overhead", "kernel_overhead"])
+    def test_rejects_negative_overheads(self, attr):
+        kwargs = self._base_kwargs()
+        kwargs[attr] = -1e-9
+        with pytest.raises(ValueError, match=attr):
+            HardwareTarget(**kwargs)
+
+    def test_zero_overheads_are_legal(self):
+        kwargs = self._base_kwargs()
+        kwargs["parallel_overhead"] = 0.0
+        kwargs["kernel_overhead"] = 0.0
+        assert HardwareTarget(**kwargs).parallel_overhead == 0.0

@@ -1,0 +1,72 @@
+"""Golden-stability test for structural workload fingerprints.
+
+Persisted schedule registries and record logs key everything on
+:func:`~repro.serving.fingerprint.structural_fingerprint`.  A refactor that
+silently changes the canonical encoding would orphan every persisted entry
+(lookups miss, warm starts go cold) without failing any behavioural test —
+so the expected digests of a representative workload set are committed in
+``tests/data/golden_fingerprints.json`` and any drift fails loudly here.
+
+If you *intentionally* changed the canonical encoding, regenerate the golden
+file (see "the golden-fingerprint workflow" in README.md) and call out in
+the PR that persisted registries / record logs are invalidated.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving.fingerprint import structural_fingerprint
+from repro.tensor import workloads as w
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_fingerprints.json"
+
+
+def golden_workloads():
+    """The committed workload set: one representative per factory, plus the
+    edge variants (no-bias epilogue, depthwise grouping, batched shapes) whose
+    structure most easily shifts under refactors."""
+    return {
+        "gemm_512x512x512": w.gemm(512, 512, 512),
+        "gemm_128x3072x768_b4": w.gemm(128, 3072, 768, batch=4),
+        "gemm_no_bias_64": w.gemm(64, 64, 64, bias=False),
+        "batch_gemm_12x128x64x128": w.batch_gemm(12, 128, 64, 128),
+        "gemm_tanh_128x768x768": w.gemm_tanh(128, 768, 768),
+        "conv1d_256x64x128_k3s2p1": w.conv1d(256, 64, 128, 3, 2, 1),
+        "conv2d_56x56x64x64_k1s1p0": w.conv2d(56, 56, 64, 64, 1, 1, 0),
+        "conv2d_depthwise_14x14x32_k3s1p1": w.conv2d(14, 14, 32, 32, 3, 1, 1, groups=32),
+        "conv3d_16x56x56x64x64_k1s1p0": w.conv3d(16, 56, 56, 64, 64, 1, 1, 0),
+        "conv2d_transpose_8x8x256x128_k4s2p1": w.conv2d_transpose(8, 8, 256, 128, 4, 2, 1),
+        "softmax_384x384_b8": w.softmax(384, 384, batch=8),
+        "elementwise_128x768_ops3": w.elementwise((128, 768), num_ops=3),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+class TestGoldenFingerprints:
+    def test_golden_file_covers_every_workload(self, golden):
+        assert sorted(golden) == sorted(golden_workloads())
+
+    @pytest.mark.parametrize("name", sorted(golden_workloads()))
+    def test_fingerprint_matches_golden(self, golden, name):
+        dag = golden_workloads()[name]
+        current = structural_fingerprint(dag)
+        assert current == golden[name], (
+            f"structural fingerprint of {name!r} drifted from the committed "
+            f"golden value — persisted registries and record logs keyed on the "
+            f"old fingerprint would be orphaned. If the encoding change is "
+            f"intentional, regenerate tests/data/golden_fingerprints.json "
+            f"(see README.md) and flag the migration in your PR."
+        )
+
+    def test_goldens_are_valid_sha256_hex(self, golden):
+        for name, digest in golden.items():
+            assert len(digest) == 64 and int(digest, 16) >= 0, name
+
+    def test_goldens_are_pairwise_distinct(self, golden):
+        assert len(set(golden.values())) == len(golden)

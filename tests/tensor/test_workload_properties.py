@@ -1,0 +1,229 @@
+"""Property-based tests for every workload factory.
+
+Each factory in :mod:`repro.tensor.workloads` is exercised over randomly
+drawn shapes / strides / padding / batch sizes and checked against the
+closed-form ground truth:
+
+* **output geometry** — the main stage's spatial extents match the
+  convolution / matmul arithmetic, and ``output_bytes`` matches the output
+  element count,
+* **FLOP counts** — ``dag.flops`` equals the analytic operation count of the
+  operator plus its epilogue stages,
+* **invalid geometries raise** — convolution configurations whose output
+  would be empty (kernel larger than the padded input, too-aggressive
+  transposed-conv padding) fail loudly instead of building a nonsense DAG.
+
+``conv2d_transpose`` and ``conv3d`` boundary behaviour was previously
+untested; the explicit edge-case classes at the bottom pin it down.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.dag import DTYPE_BYTES
+from repro.tensor.workloads import (
+    batch_gemm,
+    conv1d,
+    conv2d,
+    conv2d_transpose,
+    conv3d,
+    elementwise,
+    gemm,
+    gemm_tanh,
+    softmax,
+)
+
+# The factories are pure constructors (no search involved), so generous
+# example counts still run in milliseconds.
+COMMON = dict(max_examples=50, deadline=None)
+
+dims = st.integers(min_value=1, max_value=64)
+small_dims = st.integers(min_value=1, max_value=16)
+batches = st.integers(min_value=1, max_value=8)
+kernels = st.integers(min_value=1, max_value=7)
+strides = st.integers(min_value=1, max_value=3)
+paddings = st.integers(min_value=0, max_value=3)
+
+
+def spatial_extents(dag):
+    return tuple(it.extent for it in dag.main_stage.spatial_iters)
+
+
+def reduction_extents(dag):
+    return tuple(it.extent for it in dag.main_stage.reduction_iters)
+
+
+def conv_out(size, kernel, stride, padding):
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+class TestGemmProperties:
+    @given(m=dims, k=dims, n=dims, batch=batches, bias=st.booleans())
+    @settings(**COMMON)
+    def test_geometry_and_flops(self, m, k, n, batch, bias):
+        dag = gemm(m, k, n, batch=batch, bias=bias)
+        mt = m * batch
+        assert spatial_extents(dag) == (mt, n)
+        assert reduction_extents(dag) == (k,)
+        assert dag.output_bytes == DTYPE_BYTES * mt * n
+        assert dag.input_bytes == DTYPE_BYTES * (mt * k + k * n)
+        expected = 2.0 * mt * n * k + (1.0 * mt * n if bias else 0.0)
+        assert dag.flops == pytest.approx(expected)
+        assert dag.has_fusable_consumer == bias
+
+    @given(b=small_dims, m=dims, k=dims, n=dims, batch=batches)
+    @settings(**COMMON)
+    def test_batch_gemm(self, b, m, k, n, batch):
+        dag = batch_gemm(b, m, k, n, batch=batch)
+        bt = b * batch
+        assert spatial_extents(dag) == (bt, m, n)
+        assert reduction_extents(dag) == (k,)
+        assert dag.flops == pytest.approx(2.0 * bt * m * n * k)
+        assert dag.output_bytes == DTYPE_BYTES * bt * m * n
+
+    @given(m=dims, k=dims, n=dims, batch=batches)
+    @settings(**COMMON)
+    def test_gemm_tanh_adds_activation_flops(self, m, k, n, batch):
+        plain = gemm(m, k, n, batch=batch, bias=True)
+        fused = gemm_tanh(m, k, n, batch=batch)
+        assert fused.flops == pytest.approx(plain.flops + 4.0 * m * batch * n)
+        assert fused.tags["op"] == "gemm_tanh"
+
+
+class TestConvProperties:
+    @given(length=dims, ci=small_dims, co=small_dims, kernel=kernels,
+           stride=strides, padding=paddings, batch=batches)
+    @settings(**COMMON)
+    def test_conv1d(self, length, ci, co, kernel, stride, padding, batch):
+        if kernel > length + 2 * padding:
+            with pytest.raises(ValueError, match="invalid convolution geometry"):
+                conv1d(length, ci, co, kernel, stride, padding, batch=batch)
+            return
+        dag = conv1d(length, ci, co, kernel, stride, padding, batch=batch)
+        out_l = conv_out(length, kernel, stride, padding)
+        assert spatial_extents(dag) == (batch, co, out_l)
+        assert reduction_extents(dag) == (ci, kernel)
+        # conv body + ReLU epilogue (the zero-FLOP pad stage contributes none).
+        expected = 2.0 * batch * co * out_l * ci * kernel + 1.0 * batch * co * out_l
+        assert dag.flops == pytest.approx(expected)
+        assert dag.output_bytes == DTYPE_BYTES * batch * co * out_l
+
+    @given(h=dims, w=dims, ci=small_dims, co=small_dims, kernel=kernels,
+           stride=strides, padding=paddings, batch=batches)
+    @settings(**COMMON)
+    def test_conv2d(self, h, w, ci, co, kernel, stride, padding, batch):
+        if kernel > min(h, w) + 2 * padding:
+            with pytest.raises(ValueError, match="invalid convolution geometry"):
+                conv2d(h, w, ci, co, kernel, stride, padding, batch=batch)
+            return
+        dag = conv2d(h, w, ci, co, kernel, stride, padding, batch=batch)
+        oh, ow = conv_out(h, kernel, stride, padding), conv_out(w, kernel, stride, padding)
+        assert spatial_extents(dag) == (batch, co, oh, ow)
+        assert reduction_extents(dag) == (ci, kernel, kernel)
+        expected = (2.0 * ci * kernel * kernel + 1.0) * batch * co * oh * ow
+        assert dag.flops == pytest.approx(expected)
+        assert dag.output_bytes == DTYPE_BYTES * batch * co * oh * ow
+
+    @given(channels=st.sampled_from([4, 8, 16, 32]), h=dims, kernel=st.sampled_from([1, 3]),
+           batch=batches)
+    @settings(**COMMON)
+    def test_depthwise_conv2d(self, channels, h, kernel, batch):
+        dag = conv2d(h, h, channels, channels, kernel, 1, kernel // 2,
+                     batch=batch, groups=channels)
+        assert dag.tags["op"] == "depthwise_conv2d"
+        # Grouped reduction: each output channel reduces over ci/groups == 1.
+        assert reduction_extents(dag) == (1, kernel, kernel)
+
+    @given(d=small_dims, h=dims, w=dims, ci=small_dims, co=small_dims,
+           kernel=kernels, stride=strides, padding=paddings, batch=batches)
+    @settings(**COMMON)
+    def test_conv3d(self, d, h, w, ci, co, kernel, stride, padding, batch):
+        if kernel > min(d, h, w) + 2 * padding:
+            with pytest.raises(ValueError, match="invalid convolution geometry"):
+                conv3d(d, h, w, ci, co, kernel, stride, padding, batch=batch)
+            return
+        dag = conv3d(d, h, w, ci, co, kernel, stride, padding, batch=batch)
+        od = conv_out(d, kernel, stride, padding)
+        oh = conv_out(h, kernel, stride, padding)
+        ow = conv_out(w, kernel, stride, padding)
+        assert spatial_extents(dag) == (batch, co, od, oh, ow)
+        assert reduction_extents(dag) == (ci, kernel, kernel, kernel)
+        out_elems = batch * co * od * oh * ow
+        assert dag.flops == pytest.approx((2.0 * ci * kernel ** 3 + 1.0) * out_elems)
+        assert dag.output_bytes == DTYPE_BYTES * out_elems
+
+    @given(h=small_dims, w=small_dims, ci=small_dims, co=small_dims,
+           kernel=kernels, stride=strides, padding=paddings, batch=batches)
+    @settings(**COMMON)
+    def test_conv2d_transpose(self, h, w, ci, co, kernel, stride, padding, batch):
+        oh = (h - 1) * stride - 2 * padding + kernel
+        ow = (w - 1) * stride - 2 * padding + kernel
+        if oh < 1 or ow < 1:
+            with pytest.raises(ValueError, match="transposed convolution"):
+                conv2d_transpose(h, w, ci, co, kernel, stride, padding, batch=batch)
+            return
+        dag = conv2d_transpose(h, w, ci, co, kernel, stride, padding, batch=batch)
+        assert spatial_extents(dag) == (batch, co, oh, ow)
+        assert reduction_extents(dag) == (ci, kernel, kernel)
+        out_elems = batch * co * oh * ow
+        assert dag.flops == pytest.approx(2.0 * ci * kernel * kernel * out_elems)
+        assert dag.output_bytes == DTYPE_BYTES * out_elems
+
+
+class TestElementwiseAndSoftmaxProperties:
+    @given(shape=st.lists(small_dims, min_size=1, max_size=4),
+           num_ops=st.integers(min_value=1, max_value=5), batch=batches)
+    @settings(**COMMON)
+    def test_elementwise(self, shape, num_ops, batch):
+        dag = elementwise(shape, num_ops=num_ops, batch=batch)
+        elems = batch
+        for s in shape:
+            elems *= s
+        assert dag.flops == pytest.approx(2.0 * elems * num_ops)
+        assert dag.output_bytes == DTYPE_BYTES * elems
+        assert len(dag.compute_stages) == num_ops
+
+    @given(rows=dims, cols=dims, batch=batches)
+    @settings(**COMMON)
+    def test_softmax(self, rows, cols, batch):
+        dag = softmax(rows, cols, batch=batch)
+        rt = rows * batch
+        assert spatial_extents(dag) == (rt, cols)
+        # max + exp + sum + normalize over every element.
+        assert dag.flops == pytest.approx((1.0 + 4.0 + 1.0 + 1.0) * rt * cols)
+        assert dag.input_bytes == dag.output_bytes == DTYPE_BYTES * rt * cols
+
+
+class TestExplicitBoundaries:
+    """Pinned edge cases for the factories' validation paths."""
+
+    def test_elementwise_rejects_zero_ops(self):
+        with pytest.raises(ValueError, match="num_ops"):
+            elementwise((8, 8), num_ops=0)
+
+    def test_conv2d_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError, match="divisible by groups"):
+            conv2d(14, 14, 6, 8, 3, 1, 1, groups=4)
+
+    def test_conv3d_kernel_exceeding_padded_depth_raises(self):
+        # 1 + 2*1 = 3 < 5: the depth axis alone invalidates the geometry.
+        with pytest.raises(ValueError, match="invalid convolution geometry"):
+            conv3d(1, 56, 56, 8, 8, 5, 1, 1)
+
+    def test_conv3d_minimal_valid_geometry(self):
+        dag = conv3d(1, 1, 1, 1, 1, 1, 1, 0)
+        assert spatial_extents(dag) == (1, 1, 1, 1, 1)
+        assert dag.flops == pytest.approx(2.0 + 1.0)
+
+    def test_conv2d_transpose_overpadded_raises(self):
+        # (2-1)*1 - 2*2 + 1 = -2: padding eats the whole output.
+        with pytest.raises(ValueError, match="transposed convolution"):
+            conv2d_transpose(2, 2, 8, 8, 1, 1, 2)
+
+    def test_conv2d_transpose_minimal_valid_geometry(self):
+        dag = conv2d_transpose(1, 1, 4, 4, 1, 1, 0)
+        assert spatial_extents(dag) == (1, 4, 1, 1)
+
+    def test_conv2d_transpose_upsamples_by_stride(self):
+        dag = conv2d_transpose(8, 8, 16, 8, 4, 2, 1)
+        assert spatial_extents(dag) == (1, 8, 16, 16)

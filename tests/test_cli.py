@@ -191,3 +191,82 @@ class TestServingCommands:
         assert main(["registry", "export",
                      "--registry", str(tmp_path / "r")]) == 2
         assert "--file" in capsys.readouterr().err
+
+
+class TestTargetCommands:
+    def test_targets_list_shows_all_presets(self, capsys):
+        from repro.hardware.catalog import default_catalog
+
+        assert main(["targets", "list"]) == 0
+        out = capsys.readouterr().out
+        names = default_catalog().names()
+        assert len(names) >= 10
+        for name in names:
+            assert name in out
+
+    def test_targets_describe(self, capsys):
+        assert main(["targets", "describe", "rpi4-a72"]) == 0
+        out = capsys.readouterr().out
+        assert "num_cores: 4" in out
+        assert "embedding" in out
+        assert "nearest target" in out
+
+    def test_targets_describe_requires_name(self, capsys):
+        assert main(["targets", "describe"]) == 2
+        assert "name" in capsys.readouterr().err
+
+    def test_targets_describe_unknown_name(self, capsys):
+        assert main(["targets", "describe", "abacus-9000"]) == 2
+        assert "known" in capsys.readouterr().err
+
+    def test_tune_op_accepts_catalog_target(self, capsys):
+        code = main(["tune-op", "--op", "GEMM-S", "--trials", "8",
+                     "--scale", "0.05", "--target", "epyc-7543"])
+        assert code == 0
+        assert "gemm" in capsys.readouterr().out
+
+    def test_unknown_target_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune-op", "--op", "GEMM-S", "--trials", "8",
+                  "--target", "abacus-9000"])
+        assert excinfo.value.code == 2
+        assert "known targets" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_prints_report_and_writes_csv(self, capsys, tmp_path):
+        report = tmp_path / "sweep.csv"
+        code = main(["sweep", "--targets", "xeon-6226r,epyc-7543",
+                     "--ops", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                     "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "xeon-6226r" in out and "epyc-7543" in out
+        assert "% roofline" in out
+        # The second target's runs transfer from the first.
+        assert "warm-started across targets" in out
+        assert report.exists()
+        assert "warm-started from" in report.read_text().splitlines()[0]
+
+    def test_sweep_populates_registry(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        assert main(["sweep", "--targets", "xeon-6226r,epyc-7543",
+                     "--ops", "GEMM-S", "--trials", "8", "--scale", "0.05",
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["registry", "stats", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+
+    def test_sweep_rejects_unknown_op(self, capsys):
+        assert main(["sweep", "--ops", "GEMM-XXL", "--trials", "8"]) == 2
+        assert "operator class" in capsys.readouterr().err
+
+    def test_sweep_honors_single_target_flag(self, capsys):
+        # Regression: --target (without --targets) sweeps exactly that target.
+        code = main(["sweep", "--target", "epyc-7543", "--ops", "GEMM-S",
+                     "--trials", "8", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epyc-7543" in out
+        assert "xeon-6226r" not in out and "rtx-3090" not in out
