@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage bench bench-smoke bench-full serve-demo
+.PHONY: test coverage bench bench-smoke bench-full serve-demo network-smoke network-demo
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -31,7 +31,17 @@ bench:
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks -q
 
+## Fast end-to-end network sanity pass: a 2-subgraph toy network through the
+## shared tuning service (seconds; also a CI job).
+network-smoke:
+	$(PYTHON) -m pytest -m network_smoke tests -q
+
 ## Walk the serving subsystem: request coalescing, registry hits, transfer
 ## warm starts (see examples/serving_demo.py).
 serve-demo:
 	$(PYTHON) examples/serving_demo.py
+
+## Walk end-to-end network tuning: ResNet-50 cold, MobileNet-V2 warm-started
+## from it, ResNet-50 again from the registry (see examples/network_demo.py).
+network-demo:
+	$(PYTHON) examples/network_demo.py

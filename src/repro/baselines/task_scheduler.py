@@ -10,6 +10,7 @@ implementation.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -22,6 +23,8 @@ __all__ = ["GradientTaskScheduler"]
 
 class GradientTaskScheduler:
     """Deterministic greedy task selector driven by the Eq. 3 gradient reward."""
+
+    name = "gradient"
 
     def __init__(
         self,
@@ -39,7 +42,7 @@ class GradientTaskScheduler:
                 name=sg.name,
                 weight=sg.weight,
                 flops=sg.dag.flops,
-                similarity_group=sg.similarity_group or str(sg.dag.tags.get("op", "")),
+                similarity_group=sg.reward_group,
             )
             for sg in network
         }
@@ -56,24 +59,66 @@ class GradientTaskScheduler:
             backward_window=self.backward_window,
         )
 
-    def next_task(self) -> str:
-        """Greedy selection: the task with the largest expected benefit.
+    def _candidates(self, among: Optional[Sequence[str]]) -> List[str]:
+        """Resolve (and validate) the candidate task names of one selection."""
+        if among is None:
+            return list(self.task_names)
+        allowed = set(among)
+        candidates = [name for name in self.task_names if name in allowed]
+        if not candidates:
+            raise ValueError("next_task needs at least one candidate task")
+        return candidates
 
-        Never-tuned tasks are warmed up first (one round each) so every
-        gradient estimate is grounded in at least one measurement round.
+    def _untuned(self, candidates: Sequence[str]) -> Optional[str]:
+        """First never-tuned candidate: the shared warm-up discipline.
+
+        Every candidate gets one round before any reward-driven selection,
+        so every gradient estimate is grounded in a measurement.
         """
-        for name in self.task_names:
+        for name in candidates:
             if self.states[name].rounds == 0:
                 return name
+        return None
+
+    def next_task(self, among: Optional[Sequence[str]] = None) -> str:
+        """Greedy selection: the task with the largest expected benefit.
+
+        Never-tuned tasks are warmed up first (one round each).  ``among``
+        restricts the choice to a subset of task names (used by network
+        drivers to skip tasks whose budget is already settled).
+        """
+        candidates = self._candidates(among)
+        untuned = self._untuned(candidates)
+        if untuned is not None:
+            return untuned
         rewards = self.rewards()
-        return self.task_names[int(np.argmax(rewards))]
+        by_name = dict(zip(self.task_names, rewards))
+        return max(candidates, key=lambda name: by_name[name])
 
     def record(self, task_name: str, best_latency: float, trials: int = 0) -> None:
-        """Record the outcome of a tuning round on ``task_name``."""
+        """Record the outcome of a tuning round on ``task_name``.
+
+        ``best_latency`` is the subgraph's best latency after the round:
+        ``+inf`` marks a round whose measurements all failed, but zero,
+        negative and NaN latencies are programming errors and raise, as do
+        negative ``trials`` (mirroring ``HardwareTarget.__post_init__``).
+        """
         if task_name not in self.states:
             raise KeyError(task_name)
-        self.states[task_name].record(best_latency)
-        self.allocations[task_name] += int(trials)
+        latency = float(best_latency)
+        if math.isnan(latency):
+            raise ValueError(f"latency for task {task_name!r} must not be NaN")
+        if latency <= 0:
+            raise ValueError(
+                f"latency for task {task_name!r} must be positive, got {latency}"
+            )
+        trials = int(trials)
+        if trials < 0:
+            raise ValueError(
+                f"trials for task {task_name!r} must be non-negative, got {trials}"
+            )
+        self.states[task_name].record(latency)
+        self.allocations[task_name] += trials
 
     def estimated_latency(self) -> float:
         """Current end-to-end latency estimate ``sum_n w_n * g_n``."""

@@ -1,9 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight sub-commands cover the common workflows:
+Nine sub-commands cover the common workflows:
 
 * ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
-* ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end.
+* ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end with one
+  standalone scheduler instance (no service / registry reuse).
+* ``network``      — the end-to-end network tuning *service*: ``list`` the
+  evaluation networks, ``tune`` one through the shared multi-tenant service
+  (per-subgraph registry hits, cross-network warm starts, pluggable
+  bandit/gradient round allocation, ``f(S)`` report), or ``report`` a
+  network's registry coverage without tuning.
 * ``compare``      — head-to-head HARL vs. Ansor on one operator, printing the
   paper's normalized performance / search-time metrics.
 * ``serve``        — run a batch of (possibly duplicate) tuning requests
@@ -14,9 +20,9 @@ Eight sub-commands cover the common workflows:
   ``import``, ``compact``.
 * ``targets``      — inspect the hardware target catalog: ``list`` all
   presets, ``describe`` one (datasheet numbers, embedding, nearest devices).
-* ``sweep``        — tune a workload suite across several catalog targets
-  with cross-target transfer warm starts, printing (and optionally saving)
-  the cross-target latency / roofline report.
+* ``sweep``        — tune a workload suite — Table 6 operators (``--ops``) or
+  whole networks (``--networks``) — across several catalog targets over one
+  registry, printing (and optionally saving) the cross-target report.
 
 All latencies come from the simulated hardware targets.  ``--target``
 accepts any catalog name (``repro targets list``) plus the ``cpu`` / ``gpu``
@@ -38,8 +44,9 @@ from repro.core.scheduler import HARLScheduler
 from repro.experiments.cache import build_network
 from repro.experiments.operator_suite import OPERATOR_CLASSES, representative_dag
 from repro.experiments.reporting import format_table
+from repro.experiments.network_runner import NetworkTuner
 from repro.experiments.runner import compare_on_operator, make_measurer
-from repro.experiments.sweep import sweep_targets
+from repro.experiments.sweep import sweep_networks, sweep_targets
 from repro.hardware.catalog import default_catalog
 from repro.hardware.target import cpu_target, gpu_target
 from repro.records import RecordStore
@@ -91,7 +98,13 @@ examples:
   python -m repro serve --registry registry/ --trials 64
   python -m repro query --registry registry/ --op GEMM-L
   python -m repro registry stats --registry registry/
+  python -m repro network tune --network resnet50 --registry registry/
+  python -m repro network tune --network mobilenet_v2 --registry registry/
+  python -m repro network report --network mobilenet_v2 --registry registry/
+  python -m repro sweep --networks resnet50,mobilenet_v2 --trials 64
 """
+
+_NETWORK_CHOICES = ("bert", "resnet50", "mobilenet_v2")
 
 
 def _make_scheduler(name: str, target, config: HARLConfig, seed: int,
@@ -161,9 +174,29 @@ def build_parser() -> argparse.ArgumentParser:
                          epilog=_EPILOG,
                          formatter_class=argparse.RawDescriptionHelpFormatter)
     common(net)
-    net.add_argument("--network", choices=("bert", "resnet50", "mobilenet_v2"), default="bert")
+    net.add_argument("--network", choices=_NETWORK_CHOICES, default="bert")
     net.add_argument("--batch", type=int, default=1)
     net.add_argument("--scheduler", choices=("harl", "ansor"), default="harl")
+
+    ntw = sub.add_parser(
+        "network",
+        help="end-to-end network tuning through the shared service",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ntw.add_argument("action", choices=("list", "tune", "report"))
+    common(ntw)
+    ntw.add_argument("--network", choices=_NETWORK_CHOICES, default="resnet50")
+    ntw.add_argument("--batch", type=int, default=1)
+    ntw.add_argument("--policy", choices=("bandit", "gradient"), default="bandit",
+                     help="round-allocation policy: HARL's SW-UCB bandit or "
+                          "the greedy Eq. 3 gradient (Ansor)")
+    ntw.add_argument("--scheduler", choices=("harl", "hierarchical-rl", "ansor"),
+                     default="harl")
+    ntw.add_argument("--force-tune", action="store_true",
+                     help="bypass the registry fast path (cold-run baseline)")
+    ntw.add_argument("--json", metavar="FILE", default=None,
+                     help="also write the tune report as JSON")
 
     cmp = sub.add_parser("compare", help="HARL vs Ansor on one operator",
                          epilog=_EPILOG,
@@ -227,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--ops", metavar="CLASSES", default="GEMM-S,C1D",
                      help="comma-separated Table 6 operator classes "
                           f"(known: {', '.join(OPERATOR_CLASSES)})")
+    swp.add_argument("--networks", metavar="NAMES", default=None,
+                     help="comma-separated network names "
+                          f"({', '.join(_NETWORK_CHOICES)}); sweeps whole "
+                          "networks end to end instead of --ops")
+    swp.add_argument("--policy", choices=("bandit", "gradient"), default="bandit",
+                     help="round-allocation policy for --networks sweeps")
     swp.add_argument("--batch", type=int, default=1)
     swp.add_argument("--scheduler", choices=("harl", "hierarchical-rl", "ansor"),
                      default="harl")
@@ -341,6 +380,87 @@ def _cmd_tune_network(args) -> int:
     if record_store is not None:
         record_store.close()
         print(f"records written to {args.records_out}")
+    return 0
+
+
+def _cmd_network(args) -> int:
+    if args.action == "list":
+        rows = []
+        for name in _NETWORK_CHOICES:
+            network = build_network(name, batch_size=args.batch)
+            groups = sorted({sg.reward_group for sg in network if sg.reward_group})
+            rows.append([
+                name, network.name, len(network),
+                sum(sg.weight for sg in network),
+                network.total_flops / 1e9,
+                ",".join(groups),
+            ])
+        print(format_table(
+            ["network", "graph", "subgraphs", "sum w_n", "GFLOPs",
+             "operator families"],
+            rows, title=f"evaluation networks (batch={args.batch})",
+        ))
+        return 0
+
+    target = _resolve_target(args.target)
+    network = build_network(args.network, batch_size=args.batch)
+
+    if args.action == "report":
+        if not args.registry:
+            print("error: network report needs --registry", file=sys.stderr)
+            return 2
+        registry = ScheduleRegistry(args.registry)
+        rows, latencies = [], {}
+        for sg in network:
+            entry = registry.lookup(sg.dag, target)
+            if entry is not None:
+                latencies[sg.name] = entry.latency
+                rows.append([sg.name, sg.weight, entry.latency * 1e6,
+                             entry.scheduler, entry.trials,
+                             entry.source or "n/a", entry.donor_target or "-"])
+            else:
+                neighbors = registry.nearest(sg.dag, target, k=1)
+                hint = (f"nearest: {neighbors[0][1].workload}"
+                        if neighbors else "no relative registered")
+                rows.append([sg.name, sg.weight, float("inf"), "-", 0, hint, "-"])
+        covered = len(latencies)
+        print(format_table(
+            ["task", "w_n", "g_n (us)", "scheduler", "trials", "source",
+             "donor target"],
+            rows, title=f"{network.name} registry coverage on {target.name}",
+        ))
+        estimate = network.estimated_latency(latencies)
+        if estimate < float("inf"):
+            print(f"\nfully covered: registry-estimated f(S) = "
+                  f"{estimate * 1e3:.3f} ms ({covered}/{len(network)} tasks)")
+        else:
+            print(f"\n{covered}/{len(network)} tasks covered; "
+                  "`repro network tune` fills the gaps")
+        registry.close()
+        return 0
+
+    # action == "tune"
+    config = HARLConfig.scaled(args.scale)
+    registry = _open_registry(args)
+    if registry is None:  # explicit: an *empty* registry is falsy (len == 0)
+        registry = ScheduleRegistry()
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    service = TuningService(
+        registry=registry, target=target, config=config, seed=args.seed,
+        record_store=record_store, num_workers=args.num_workers,
+    )
+    tuner = NetworkTuner(network, service, policy=args.policy,
+                         scheduler=args.scheduler, force_tune=args.force_tune)
+    report = tuner.tune(n_trials=args.trials)
+    print(report.format())
+    print(f"registry now holds {len(registry)} entries")
+    if args.json:
+        path = report.write_json(args.json)
+        print(f"report written to {path}")
+    if record_store is not None:
+        record_store.close()
+        print(f"records written to {args.records_out}")
+    registry.close()
     return 0
 
 
@@ -535,13 +655,52 @@ def _cmd_sweep(args) -> int:
     else:
         target_names = ["xeon-6226r", "rtx-3090"]
     targets = [_resolve_target(name) for name in target_names]
+    if args.networks:
+        networks = []
+        for name in (n.strip() for n in args.networks.split(",") if n.strip()):
+            if name not in _NETWORK_CHOICES:
+                print(f"error: unknown network {name!r}; known: "
+                      f"{', '.join(_NETWORK_CHOICES)}", file=sys.stderr)
+                return 2
+            networks.append(name)
+        if not networks:
+            print("error: --networks needs at least one network name",
+                  file=sys.stderr)
+            return 2
+        registry = _open_registry(args)
+        record_store = RecordStore(args.records_out) if args.records_out else None
+        report = sweep_networks(
+            networks, targets, n_trials=args.trials, config=config,
+            seed=args.seed, scheduler=args.scheduler, policy=args.policy,
+            registry=registry, num_workers=args.num_workers,
+            record_store=record_store, batch_size=args.batch,
+        )
+        print(report.format(
+            title=f"network fleet sweep: {len(networks)} networks x "
+                  f"{len(targets)} targets"
+        ))
+        reused = report.reused_cells()
+        if reused:
+            print(f"\n{len(reused)} runs reused registry knowledge "
+                  f"(hits or warm starts)")
+        if args.report:
+            path = report.write_csv(args.report)
+            print(f"report written to {path}")
+        if record_store is not None:
+            record_store.close()
+        if registry is not None:
+            registry.close()
+        return 0
     dags = []
-    for op in (name.strip() for name in args.ops.split(",")):
+    for op in (name.strip() for name in args.ops.split(",") if name.strip()):
         if op not in OPERATOR_CLASSES:
             print(f"error: unknown operator class {op!r}; known: "
                   f"{', '.join(OPERATOR_CLASSES)}", file=sys.stderr)
             return 2
         dags.append(representative_dag(op, batch=args.batch))
+    if not dags:
+        print("error: --ops needs at least one operator class", file=sys.stderr)
+        return 2
     registry = _open_registry(args)
     record_store = RecordStore(args.records_out) if args.records_out else None
     report = sweep_targets(
@@ -572,6 +731,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tune_op(args)
     if args.command == "tune-network":
         return _cmd_tune_network(args)
+    if args.command == "network":
+        return _cmd_network(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "serve":

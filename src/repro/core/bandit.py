@@ -90,12 +90,28 @@ class SlidingWindowUCB:
         return scores
 
     # ------------------------------------------------------------------ #
-    def select(self) -> int:
-        """Choose the arm with the highest SW-UCB score (ties broken at random)."""
+    def select(self, among: Optional[Sequence[int]] = None) -> int:
+        """Choose the arm with the highest SW-UCB score (ties broken at random).
+
+        ``among`` restricts the choice to a subset of arm indices (used by
+        drivers whose arms can retire, e.g. network subgraphs whose trial
+        budget is settled); the scores of excluded arms are ignored.
+        """
         scores = self.ucb_scores()
+        if among is not None:
+            allowed = np.zeros(self.num_arms, dtype=bool)
+            for arm in among:
+                if not (0 <= arm < self.num_arms):
+                    raise IndexError(f"arm {arm} out of range [0, {self.num_arms})")
+                allowed[arm] = True
+            if not allowed.any():
+                raise ValueError("select needs at least one candidate arm")
+            scores = np.where(allowed, scores, -np.inf)
         best = float(np.max(scores))
         candidates = np.flatnonzero(
-            np.isinf(scores) if np.isinf(best) else np.isclose(scores, best)
+            # isposinf (not isinf): masked-out arms sit at -inf and must never
+            # be tie-broken in when unplayed arms put the maximum at +inf.
+            np.isposinf(scores) if np.isinf(best) else np.isclose(scores, best)
         )
         return int(self._rng.choice(candidates))
 

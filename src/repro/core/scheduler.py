@@ -358,7 +358,7 @@ class HARLScheduler:
                 name=sg.name,
                 weight=sg.weight,
                 flops=sg.dag.flops,
-                similarity_group=sg.similarity_group or sg.dag.tags.get("op", ""),
+                similarity_group=sg.reward_group,
             )
             for sg in network
         }

@@ -64,21 +64,33 @@ def subgraph_reward(
     * the **head-room term** is the larger of the optimistic ``g_a / t_a``
       decay bound and the gap to the latency this subgraph would have if it
       reached ``beta`` times the best throughput achieved by similar subgraphs
-      (same ``similarity_group``).
+      (same non-empty ``similarity_group`` — the empty group matches nothing,
+      so untagged subgraphs never transfer throughput between each other).
 
-    Untuned subgraphs return ``+inf`` so they are explored first.
+    Untuned subgraphs return ``+inf`` so they are explored first.  A subgraph
+    whose every round so far *failed* to produce a measurement (``g_a`` is
+    non-finite) returns 0: it already consumed rounds without progress, so it
+    must not masquerade as an untuned top-priority task.
     """
     if state.rounds == 0:
         return float("inf")
 
     g_now = state.latencies[-1]
+    if not np.isfinite(g_now):
+        return 0.0
     weight = max(state.weight, 1.0)
 
     # History term: improvement rate over the last `backward_window` rounds.
     dt = min(backward_window, state.rounds - 1)
     if dt > 0:
         g_prev = state.latencies[-1 - dt]
-        improvement_rate = max(g_prev - g_now, 0.0) / dt
+        if np.isfinite(g_prev):
+            improvement_rate = max(g_prev - g_now, 0.0) / dt
+        else:
+            # The window starts before the first successful measurement: the
+            # drop from "failed" to g_now is not a meaningful rate, so fall
+            # back to the single-round convention below.
+            improvement_rate = g_now
     else:
         improvement_rate = g_now  # a single round: everything is head-room
 
@@ -89,12 +101,20 @@ def subgraph_reward(
     similar = [
         s
         for s in all_states
-        if s is not state and s.similarity_group == state.similarity_group and s.rounds > 0
+        if s is not state
+        and state.similarity_group
+        and s.similarity_group == state.similarity_group
+        and s.rounds > 0
+        and np.isfinite(s.best_latency)
+        and s.best_latency > 0
     ]
     if similar and state.flops > 0:
         best_similar_throughput = max(s.flops / s.best_latency for s in similar)
-        predicted_latency = state.flops / (beta * best_similar_throughput)
-        similarity_gap = max(g_now - predicted_latency, 0.0)
+        if best_similar_throughput > 0:
+            predicted_latency = state.flops / (beta * best_similar_throughput)
+            similarity_gap = max(g_now - predicted_latency, 0.0)
+        else:
+            similarity_gap = 0.0
     else:
         similarity_gap = 0.0
 
@@ -111,7 +131,9 @@ def normalized_rewards(
 ) -> np.ndarray:
     """Rewards of every subgraph, normalised to [0, 1] for MAB consumption.
 
-    Infinite rewards (never-tuned subgraphs) map to 1.0.
+    ``+inf`` rewards (never-tuned subgraphs) map to 1.0.  Any residual
+    non-finite value (NaN from a degenerate caller-provided state) maps to
+    0.0 — a dead task must not look like an untuned top-priority one.
     """
     raw = np.array(
         [subgraph_reward(s, states, alpha, beta, backward_window) for s in states],
@@ -120,5 +142,5 @@ def normalized_rewards(
     finite = raw[np.isfinite(raw)]
     scale = float(np.max(finite)) if finite.size else 1.0
     scale = max(scale, 1e-30)
-    out = np.where(np.isfinite(raw), raw / scale, 1.0)
+    out = np.where(np.isfinite(raw), raw / scale, np.where(np.isnan(raw), 0.0, 1.0))
     return np.clip(out, 0.0, 1.0)

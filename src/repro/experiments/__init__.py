@@ -16,14 +16,34 @@ from repro.experiments.runner import (
     compare_on_operator,
     compare_on_network,
 )
+from repro.experiments.network_runner import (
+    BanditTaskScheduler,
+    NetworkTuner,
+    NetworkTuningReport,
+    TaskReport,
+)
 from repro.experiments.reporting import format_table, write_csv
-from repro.experiments.sweep import SweepCell, SweepReport, roofline_flops, sweep_targets
+from repro.experiments.sweep import (
+    NetworkSweepCell,
+    NetworkSweepReport,
+    SweepCell,
+    SweepReport,
+    roofline_flops,
+    sweep_networks,
+    sweep_targets,
+)
 
 __all__ = [
+    "BanditTaskScheduler",
+    "NetworkSweepCell",
+    "NetworkSweepReport",
+    "NetworkTuner",
+    "NetworkTuningReport",
     "OPERATOR_SUITE",
     "OperatorComparison",
     "SweepCell",
     "SweepReport",
+    "TaskReport",
     "compare_on_network",
     "compare_on_operator",
     "format_table",
@@ -32,6 +52,7 @@ __all__ = [
     "operator_dags",
     "roofline_flops",
     "speedup",
+    "sweep_networks",
     "sweep_targets",
     "write_csv",
 ]

@@ -22,14 +22,24 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import HARLConfig
+from repro.experiments.network_runner import NetworkTuner, NetworkTuningReport
 from repro.experiments.reporting import format_table, write_csv
 from repro.hardware.catalog import TargetCatalog, default_catalog
 from repro.hardware.target import HardwareTarget
+from repro.networks.graph import NetworkGraph
 from repro.serving.registry import ScheduleRegistry
 from repro.serving.service import TuningRequest, TuningService
 from repro.tensor.dag import ComputeDAG
 
-__all__ = ["SweepCell", "SweepReport", "roofline_flops", "sweep_targets"]
+__all__ = [
+    "NetworkSweepCell",
+    "NetworkSweepReport",
+    "SweepCell",
+    "SweepReport",
+    "roofline_flops",
+    "sweep_networks",
+    "sweep_targets",
+]
 
 
 def roofline_flops(dag: ComputeDAG, target: HardwareTarget) -> float:
@@ -176,6 +186,152 @@ def sweep_targets(
                     source=handle.source,
                     roofline=roofline_flops(dag, target),
                     transfer_donors=tuple(result.extras.get("transfer_donors", ())),
+                )
+            )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end network sweeps
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NetworkSweepCell:
+    """Outcome of tuning one network end to end on one target."""
+
+    network: str
+    target: str
+    latency: float               #: final end-to-end f(S)
+    trials: int
+    tasks: int
+    registry_hits: int           #: tasks answered in O(1) from the registry
+    warm_started: int            #: tasks seeded from registered donors
+    policy: str
+
+
+@dataclass
+class NetworkSweepReport:
+    """Cross-target end-to-end latency report of one network fleet sweep.
+
+    ``reports`` keeps the full per-run :class:`NetworkTuningReport` (indexed
+    like ``cells``) for drill-down into trajectories and per-task tables.
+    """
+
+    cells: List[NetworkSweepCell] = field(default_factory=list)
+    reports: List[NetworkTuningReport] = field(default_factory=list)
+
+    HEADERS = (
+        "network", "target", "f(S) (ms)", "trials", "tasks",
+        "registry hits", "warm-started", "policy",
+    )
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [
+                cell.network,
+                cell.target,
+                cell.latency * 1e3,
+                cell.trials,
+                cell.tasks,
+                cell.registry_hits,
+                cell.warm_started,
+                cell.policy,
+            ]
+            for cell in self.cells
+        ]
+
+    def format(self, title: str = "network fleet sweep") -> str:
+        return format_table(list(self.HEADERS), self.rows(), title=title)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        return write_csv(path, list(self.HEADERS), self.rows())
+
+    def cell(self, network: str, target: str) -> NetworkSweepCell:
+        for cell in self.cells:
+            if cell.network == network and cell.target == target:
+                return cell
+        raise KeyError((network, target))
+
+    def report(self, network: str, target: str) -> NetworkTuningReport:
+        for report in self.reports:
+            if report.network == network and report.target == target:
+                return report
+        raise KeyError((network, target))
+
+    def reused_cells(self) -> List[NetworkSweepCell]:
+        """Cells that reused registry knowledge (hits or warm starts)."""
+        return [
+            cell for cell in self.cells if cell.registry_hits or cell.warm_started
+        ]
+
+
+def sweep_networks(
+    networks: Sequence[Union[str, NetworkGraph]],
+    targets: Sequence[Union[str, HardwareTarget]],
+    n_trials: int = 64,
+    config: Optional[HARLConfig] = None,
+    seed: int = 0,
+    scheduler: str = "harl",
+    policy: str = "bandit",
+    registry: Optional[ScheduleRegistry] = None,
+    catalog: Optional[TargetCatalog] = None,
+    num_workers: int = 1,
+    record_store=None,
+    batch_size: int = 1,
+) -> NetworkSweepReport:
+    """Tune every network end to end on every target over one registry.
+
+    One :class:`~repro.serving.service.TuningService` is created per target
+    and *shared by all networks on that target*, so the second network
+    warm-starts from the first's registered subgraphs (cross-network reuse)
+    and later targets borrow re-fitted schedules from earlier ones
+    (cross-target transfer).  ``n_trials`` is the per-network measurement
+    budget; registry-answered tasks consume none of it.
+
+    Network names (``"bert"`` / ``"resnet50"`` / ``"mobilenet_v2"``) are
+    built at ``batch_size``; :class:`~repro.networks.graph.NetworkGraph`
+    instances sweep as-is.
+    """
+    from repro.experiments.cache import build_network  # local: cache imports runner
+
+    if not networks:
+        raise ValueError("network sweep needs at least one network")
+    if not targets:
+        raise ValueError("network sweep needs at least one target")
+    catalog = catalog if catalog is not None else default_catalog()
+    registry = registry if registry is not None else ScheduleRegistry()
+    resolved_targets = [
+        t if isinstance(t, HardwareTarget) else catalog.get(t) for t in targets
+    ]
+    resolved_networks = [
+        n if isinstance(n, NetworkGraph) else build_network(n, batch_size=batch_size)
+        for n in networks
+    ]
+    report = NetworkSweepReport()
+    for target in resolved_targets:
+        service = TuningService(
+            registry=registry,
+            target=target,
+            config=config,
+            seed=seed,
+            num_workers=num_workers,
+            record_store=record_store,
+            catalog=catalog,
+        )
+        for network in resolved_networks:
+            run = NetworkTuner(
+                network, service, policy=policy, scheduler=scheduler
+            ).tune(n_trials)
+            report.reports.append(run)
+            report.cells.append(
+                NetworkSweepCell(
+                    network=network.name,
+                    target=target.name,
+                    latency=run.final_latency,
+                    trials=run.trials_used,
+                    tasks=len(run.tasks),
+                    registry_hits=run.registry_hits,
+                    warm_started=run.warm_started_tasks,
+                    policy=run.policy,
                 )
             )
     return report

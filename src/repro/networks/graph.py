@@ -41,6 +41,19 @@ class Subgraph:
         """FLOPs contributed by all appearances of this subgraph."""
         return self.weight * self.dag.flops
 
+    @property
+    def reward_group(self) -> str:
+        """Similarity group consumed by the Eq. 3 reward.
+
+        The explicit ``similarity_group`` wins; otherwise the workload's
+        ``op`` tag.  Untagged subgraphs get the *empty* group, which by
+        contract matches nothing (see
+        :func:`~repro.core.subgraph_reward.subgraph_reward`), so unrelated
+        operators never transfer throughput estimates between each other
+        just because neither was tagged.
+        """
+        return self.similarity_group or str(self.dag.tags.get("op") or "")
+
 
 @dataclass
 class NetworkGraph:

@@ -99,7 +99,9 @@ class _Job:
             name=key[0][:12],
             weight=1.0,
             flops=request.dag.flops,
-            similarity_group=str(request.dag.tags.get("op", "")),
+            # Empty group (untagged workload) matches nothing in the Eq. 3
+            # reward, so unrelated untagged jobs never share throughput.
+            similarity_group=str(request.dag.tags.get("op") or ""),
         )
 
     def attach(self, handle: JobHandle, request: TuningRequest) -> None:
@@ -171,7 +173,8 @@ class TuningService:
         self._lock = threading.Lock()
         self._jobs: Dict[Tuple[str, str], _Job] = {}
         self._order: List[Tuple[str, str]] = []  # FIFO tie-break for allocation
-        self._transfer_donors: Dict[str, List[str]] = {}  # fingerprint -> donors
+        self._transfer_donors: Dict[str, List[str]] = {}  # fingerprint -> donor targets
+        self._warm_start_donors: Dict[str, List[str]] = {}  # fingerprint -> donor workloads
         self.jobs_created = 0
         self.registry_hits = 0
         self.coalesced_requests = 0
@@ -189,9 +192,14 @@ class TuningService:
                 dag, target, max_candidates=k, catalog=self.catalog
             )
             donors = sorted({c.donor.target for c in candidates if c.cross_target})
-            if donors:
+            workloads = sorted({c.donor.workload for c in candidates})
+            if donors or workloads:
                 with self._lock:
-                    self._transfer_donors[structural_fingerprint(dag)] = donors
+                    fingerprint = structural_fingerprint(dag)
+                    if donors:
+                        self._transfer_donors[fingerprint] = donors
+                    if workloads:
+                        self._warm_start_donors[fingerprint] = workloads
             return [c.schedule for c in candidates]
 
         return provider
@@ -357,8 +365,11 @@ class TuningService:
         result.extras["tenants"] = list(job.tenants)
         with self._lock:
             donors = self._transfer_donors.pop(job.key[0], [])
+            warm_donors = self._warm_start_donors.pop(job.key[0], [])
         if donors:
             result.extras["transfer_donors"] = donors
+        if warm_donors:
+            result.extras["warm_start_donors"] = warm_donors
         self.registry.record_result(
             job.dag,
             self.target,
@@ -373,6 +384,70 @@ class TuningService:
             self._order = [key for key in self._order if key != job.key]
         for handle in job.handles:
             handle._finish(result)
+
+    # ------------------------------------------------------------------ #
+    # external round drivers (network tuning)
+    # ------------------------------------------------------------------ #
+    def _job_of(self, handle: JobHandle) -> Optional[_Job]:
+        with self._lock:
+            return self._jobs.get((handle.fingerprint, self.target.name))
+
+    def advance(self, handle: JobHandle, max_measures: Optional[int] = None) -> int:
+        """Run one tuning round on the job serving ``handle``.
+
+        This is the hook for drivers that own the budget-allocation policy
+        themselves (the :class:`~repro.experiments.network_runner.NetworkTuner`
+        allocates rounds across a network's subgraphs with the Eq. 3 gradient
+        or the HARL bandit) instead of delegating to :meth:`run`.  Returns the
+        measurement trials consumed — 0 when the handle is already done
+        (registry hit, or its job finished through a coalesced sibling).
+        The job is finished (flushed to the registry, all its handles
+        resolved) once its trial budget is exhausted or a round consumes
+        nothing.
+        """
+        if handle.done:
+            return 0
+        job = self._job_of(handle)
+        if job is None:
+            return 0
+        budget = job.n_trials - job.trials_used
+        if max_measures is not None:
+            budget = min(budget, int(max_measures))
+        spent = job.scheduler.tune_round(job.dag, max_measures=budget)
+        job.trials_used += spent
+        job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+        if job.trials_used >= job.n_trials or spent == 0:
+            self._finish_job(job)
+        return spent
+
+    def finish(self, handle: JobHandle) -> TuningResult:
+        """Finalize the job serving ``handle`` now, regardless of budget left.
+
+        Used by round drivers whose *global* budget ran out before every
+        per-job budget did; the job's best-so-far is flushed to the registry
+        and every coalesced handle resolves.  Idempotent for done handles.
+        """
+        if not handle.done:
+            job = self._job_of(handle)
+            if job is not None:
+                self._finish_job(job)
+        if handle.result is None:
+            raise ValueError(
+                "finish() got a handle this service does not own "
+                f"(fingerprint {handle.fingerprint[:12]}…)"
+            )
+        return handle.result
+
+    def current_latency(self, handle: JobHandle) -> float:
+        """Best latency known for a handle so far (``inf`` before any trial)."""
+        if handle.done:
+            if handle.result is None:
+                raise ValueError("done handle has no result")
+            return float(handle.result.best_latency)
+        job = self._job_of(handle)
+        if job is None:
+            return float("inf")
+        return float(job.scheduler.measurer.best_latency(job.dag.name))
 
     def process(self, requests: Sequence[TuningRequest]) -> List[JobHandle]:
         """Submit a batch of requests and run the service until all complete."""

@@ -63,6 +63,72 @@ class TestGradientTaskScheduler:
         with pytest.raises(KeyError):
             ts.record("ghost", 1.0)
 
+    def test_record_validates_latency_and_trials(self, network):
+        """Regression: zero / negative / NaN latencies and negative trials
+        used to be accepted silently and poisoned the gradient estimates."""
+        ts = GradientTaskScheduler(network)
+        for bad_latency in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                ts.record("heavy", bad_latency)
+        with pytest.raises(ValueError):
+            ts.record("heavy", 1.0, trials=-4)
+        # Nothing was recorded by the rejected calls.
+        assert ts.states["heavy"].rounds == 0
+        assert ts.allocations["heavy"] == 0
+
+    def test_record_accepts_failed_round_inf(self, network):
+        """+inf marks a round whose measurements all failed; it is recorded
+        (the reward path maps it to zero priority, not an error)."""
+        ts = GradientTaskScheduler(network)
+        ts.record("heavy", float("inf"), trials=4)
+        assert ts.states["heavy"].rounds == 1
+        assert ts.allocations["heavy"] == 4
+
+    def test_untagged_subgraphs_get_empty_isolated_groups(self):
+        """Regression: subgraphs without a similarity group or an ``op`` tag
+        all shared the empty-string group, so Eq. 3's M(a) term transferred
+        throughput between unrelated operators."""
+        dags = [gemm(64, 64, 64, name=f"untagged_{i}") for i in range(2)]
+        for dag in dags:
+            dag.tags.clear()
+        network = NetworkGraph(
+            name="untagged",
+            subgraphs=[
+                Subgraph("a", dags[0], weight=1),
+                Subgraph("b", dags[1], weight=1),
+            ],
+        )
+        ts = GradientTaskScheduler(network)
+        assert ts.states["a"].similarity_group == ""
+        assert ts.states["b"].similarity_group == ""
+        # Identical histories => identical rewards: no cross-talk through
+        # the empty group even though `a` is much slower than `b`.
+        ts.record("a", 1.0, trials=4)
+        ts.record("b", 0.001, trials=4)
+        ts.record("a", 1.0, trials=4)
+        ts.record("b", 0.001, trials=4)
+        from repro.core.subgraph_reward import subgraph_reward
+
+        states = [ts.states["a"], ts.states["b"]]
+        slow_reward = subgraph_reward(ts.states["a"], states)
+        # The slow task's reward must be its own decay bound, not inflated
+        # by the fast task's throughput.
+        assert slow_reward == pytest.approx(1.0 * 0.8 * (1.0 / 2))
+
+    def test_next_task_among_restricts_candidates(self, network):
+        ts = GradientTaskScheduler(network)
+        for task in ("heavy", "light", "soft"):
+            ts.record(task, 1.0, trials=4)
+        assert ts.next_task() == "heavy"
+        assert ts.next_task(among=["light", "soft"]) in ("light", "soft")
+        with pytest.raises(ValueError):
+            ts.next_task(among=[])
+
+    def test_next_task_among_warms_up_subset_first(self, network):
+        ts = GradientTaskScheduler(network)
+        ts.record("heavy", 1.0, trials=4)
+        assert ts.next_task(among=["heavy", "soft"]) == "soft"  # untuned first
+
     def test_greedy_selection_is_deterministic(self, network):
         """Greedy allocation has no exploration: with unchanged state it keeps
         returning the same task — the behaviour Observation 1 (Fig. 1a)

@@ -105,3 +105,30 @@ class TestLearningBehaviour:
         assert reward == 0.25
         assert mab.t == 1
         assert mab.total_plays()[arm] == 1
+
+
+class TestSelectAmong:
+    """`select(among=...)` restricts the choice to live arms."""
+
+    def test_among_restricts_selection(self):
+        mab = SlidingWindowUCB(3, exploration=0.0, window=16, rng=np.random.default_rng(0))
+        for arm, reward in ((0, 1.0), (1, 0.5), (2, 0.4)):
+            mab.update(arm, reward)
+        assert mab.select() == 0
+        assert mab.select(among=[1, 2]) == 1
+        assert mab.select(among=[2]) == 2
+
+    def test_among_prefers_unplayed_candidate(self):
+        mab = SlidingWindowUCB(3, rng=np.random.default_rng(0))
+        mab.update(0, 1.0)
+        mab.update(1, 1.0)
+        # Arm 2 is unplayed (+inf score) and must win inside the subset —
+        # and masked-out arms must never be tie-broken in.
+        assert mab.select(among=[1, 2]) == 2
+
+    def test_among_validates_arms(self):
+        mab = SlidingWindowUCB(2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            mab.select(among=[])
+        with pytest.raises(IndexError):
+            mab.select(among=[5])

@@ -80,6 +80,83 @@ class TestSubgraphReward:
         assert history_only >= 0 and headroom_only >= 0
 
 
+class TestFailedRoundRecovery:
+    """Regressions for the inf/NaN poisoning of the Eq. 3 reward path.
+
+    A measurement round whose every trial fails records ``inf`` latency;
+    before the fix ``improvement_rate`` computed ``inf - inf = NaN`` and
+    ``normalized_rewards`` mapped the NaN to 1.0, so a dead task looked like
+    an untuned top-priority task forever.
+    """
+
+    def test_all_failed_rounds_give_zero_reward(self):
+        dead = _state("dead", latencies=[float("inf")] * 3)
+        healthy = _state("healthy", latencies=[1.0, 0.9])
+        reward = subgraph_reward(dead, [dead, healthy])
+        assert reward == 0.0
+        assert np.isfinite(reward)
+
+    def test_dead_task_is_not_top_priority(self):
+        states = [
+            _state("dead", latencies=[float("inf")] * 4),
+            _state("untuned"),
+            _state("healthy", latencies=[1.0, 0.8]),
+        ]
+        rewards = normalized_rewards(states)
+        assert rewards[0] == 0.0       # dead: no NaN -> 1.0 masquerade
+        assert rewards[1] == 1.0       # untuned stays maximal
+        assert np.all(np.isfinite(rewards))
+
+    def test_recovery_after_failed_round_is_finite(self):
+        # First round failed, later rounds succeeded: the inf -> finite drop
+        # must not produce an infinite improvement rate.
+        recovered = _state("recovered", latencies=[float("inf"), 2.0, 1.5])
+        reward = subgraph_reward(recovered, [recovered])
+        assert np.isfinite(reward)
+        assert reward > 0.0
+
+    def test_failed_peer_does_not_break_similarity_term(self):
+        # A similar peer whose rounds all failed has best_latency == inf
+        # (zero throughput); it must be excluded, not divide by zero.
+        alive = _state("alive", latencies=[1.0] * 4)
+        dead_peer = _state("dead", latencies=[float("inf")] * 4)
+        reward = subgraph_reward(alive, [alive, dead_peer])
+        assert np.isfinite(reward)
+
+    def test_zero_latency_peer_does_not_divide_by_zero(self):
+        alive = _state("alive", latencies=[1.0] * 4)
+        zero_peer = SubgraphState(name="zero", weight=1.0, flops=1e9,
+                                  similarity_group="gemm")
+        zero_peer.latencies.extend([0.0, 0.0])  # bypass record()'s min()
+        reward = subgraph_reward(alive, [alive, zero_peer])
+        assert np.isfinite(reward)
+
+
+class TestEmptyGroupIsolation:
+    """The empty similarity group must match nothing (Eq. 3 ``M(a)``)."""
+
+    def test_empty_groups_do_not_transfer_throughput(self):
+        # Two untagged subgraphs, one fast and one slow: before the fix they
+        # shared the "" group and the slow one received a similarity-gap
+        # head-room bonus from the fast one's throughput.
+        slow = _state("slow", group="", latencies=[1.0] * 8)
+        fast = _state("fast", group="", latencies=[0.01] * 8)
+        isolated = _state("isolated", group="g-alone", latencies=[1.0] * 8)
+        states = [slow, fast, isolated]
+        # Identical latency history and (lack of) similar peers => identical
+        # reward: the slow empty-group state gets no bonus from `fast`.
+        assert subgraph_reward(slow, states) == pytest.approx(
+            subgraph_reward(isolated, states)
+        )
+
+    def test_nonempty_groups_still_transfer(self):
+        slow = _state("slow", group="gemm", latencies=[1.0] * 8)
+        fast = _state("fast", group="gemm", latencies=[0.01] * 8)
+        lone = _state("lone", group="other", latencies=[1.0] * 8)
+        states = [slow, fast, lone]
+        assert subgraph_reward(slow, states) > subgraph_reward(lone, states)
+
+
 class TestNormalizedRewards:
     def test_range_and_infinite_mapping(self):
         states = [

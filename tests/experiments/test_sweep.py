@@ -119,3 +119,83 @@ class TestReportArtifact:
     def test_missing_cell_raises(self, report):
         with pytest.raises(KeyError):
             report.cell("no-such-workload", "xeon-6226r")
+
+
+class TestNetworkSweep:
+    """sweep_networks: networks x targets over one shared registry."""
+
+    @pytest.fixture
+    def toy_networks(self):
+        from repro.networks.graph import NetworkGraph, Subgraph
+
+        def build(name):
+            return NetworkGraph(
+                name=name,
+                subgraphs=[
+                    Subgraph("mm", gemm(64, 64, 64, name=f"{name}_mm"),
+                             weight=3, similarity_group="gemm"),
+                    Subgraph("c1d", conv1d(64, 16, 32, 3, 1, 1,
+                                           name=f"{name}_c1d"),
+                             weight=1, similarity_group="conv1d"),
+                ],
+            )
+
+        # Structurally identical networks under different names: the second
+        # one must be answered entirely from the shared registry.
+        return [build("net_a"), build("net_b")]
+
+    def test_second_network_reuses_first(self, toy_networks, tiny_config):
+        from repro.experiments.sweep import NetworkSweepReport, sweep_networks
+
+        report = sweep_networks(
+            toy_networks, ["xeon-6226r"], n_trials=16, config=tiny_config,
+            seed=0,
+        )
+        assert len(report.cells) == 2
+        first = report.cell("net_a", "xeon-6226r")
+        second = report.cell("net_b", "xeon-6226r")
+        assert first.trials == 16 and first.registry_hits == 0
+        assert second.trials == 0 and second.registry_hits == 2
+        assert second.latency == pytest.approx(first.latency)
+        assert report.reused_cells() == [second]
+        # Full per-run reports are retained for drill-down.
+        assert report.report("net_b", "xeon-6226r").registry_hits == 2
+        with pytest.raises(KeyError):
+            report.cell("net_a", "rtx-3090")
+
+    def test_second_target_transfers_across_targets(self, toy_networks, tiny_config):
+        from repro.experiments.sweep import sweep_networks
+
+        report = sweep_networks(
+            toy_networks[:1], ["xeon-6226r", "epyc-7543"], n_trials=16,
+            config=tiny_config, seed=0,
+        )
+        cross = report.cell("net_a", "epyc-7543")
+        assert cross.warm_started > 0  # seeded from the xeon donors
+        run = report.report("net_a", "epyc-7543")
+        assert any(t.transfer_donors for t in run.tasks)
+
+    def test_csv_and_format(self, toy_networks, tiny_config, tmp_path):
+        from repro.experiments.sweep import NetworkSweepReport, sweep_networks
+
+        report = sweep_networks(
+            toy_networks[:1], ["xeon-6226r"], n_trials=8, config=tiny_config,
+            seed=0,
+        )
+        text = report.format()
+        assert "f(S) (ms)" in text and "net_a" in text
+        path = report.write_csv(tmp_path / "networks.csv")
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(NetworkSweepReport.HEADERS)
+        assert len(rows) == 2
+
+    def test_validates_inputs(self, tiny_config):
+        from repro.experiments.sweep import sweep_networks
+
+        with pytest.raises(ValueError):
+            sweep_networks([], ["xeon-6226r"], config=tiny_config)
+        with pytest.raises(ValueError):
+            sweep_networks(["resnet50"], [], config=tiny_config)
+        with pytest.raises(KeyError):
+            sweep_networks(["alexnet"], ["xeon-6226r"], config=tiny_config)

@@ -171,6 +171,70 @@ class TestBudgetAllocation:
         assert service.active_jobs() == 0
 
 
+class TestExternalRoundDriving:
+    """`advance` / `finish` / `current_latency`: the hooks NetworkTuner uses
+    to own the budget-allocation policy instead of delegating to run()."""
+
+    def test_advance_drives_one_job_to_completion(self, service):
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=8))
+        assert not handle.done
+        assert service.current_latency(handle) == float("inf")
+        total = 0
+        while not handle.done:
+            spent = service.advance(handle)
+            assert spent >= 0
+            total += spent
+        assert total >= 8
+        assert handle.result.trials_used == total
+        assert service.active_jobs() == 0
+        # The finished job landed in the registry like a run()-driven one.
+        assert service.registry.lookup(gemm(64, 64, 64), service.target)
+
+    def test_advance_respects_max_measures(self, service):
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=16))
+        spent = service.advance(handle, max_measures=2)
+        assert 0 < spent <= 2
+        assert not handle.done
+        assert service.current_latency(handle) < float("inf")
+        service.finish(handle)
+
+    def test_advance_on_done_handle_is_noop(self, service):
+        done = service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=4)])[0]
+        assert service.advance(done) == 0
+
+    def test_finish_flushes_best_so_far(self, service):
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=64))
+        service.advance(handle, max_measures=4)
+        result = service.finish(handle)
+        assert handle.done
+        assert result.trials_used < 64  # cut short, not run to budget
+        assert service.active_jobs() == 0
+        assert service.registry.lookup(gemm(64, 64, 64), service.target)
+        # Idempotent.
+        assert service.finish(handle) is result
+
+    def test_advance_resolves_coalesced_siblings(self, service):
+        a = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=4))
+        b = service.submit(TuningRequest(dag=gemm(64, 64, 64, name="twin"),
+                                         n_trials=4))
+        while not a.done:
+            service.advance(a)
+        assert b.done
+        assert b.result is a.result
+
+    def test_warm_start_donor_provenance(self, cpu, tiny_config):
+        registry = ScheduleRegistry()
+        service = TuningService(registry=registry, config=tiny_config, seed=0)
+        service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8)])
+        # A similar workload warm-starts from the registered donor and the
+        # finished result names it.
+        handle = service.process(
+            [TuningRequest(dag=gemm(96, 96, 96), n_trials=8)]
+        )[0]
+        donors = handle.result.extras.get("warm_start_donors", [])
+        assert any("gemm_m64k64n64" in donor for donor in donors)
+
+
 @pytest.mark.slow
 class TestWarmStartTransfer:
     """Acceptance: warm-started runs reach the cold best in ≤ half the trials."""

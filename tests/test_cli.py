@@ -270,3 +270,99 @@ class TestSweepCommand:
         assert code == 0
         assert "epyc-7543" in out
         assert "xeon-6226r" not in out and "rtx-3090" not in out
+
+
+class TestNetworkCommand:
+    def test_network_list(self, capsys):
+        assert main(["network", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bert", "resnet50", "mobilenet_v2"):
+            assert name in out
+        assert "subgraphs" in out
+
+    def test_network_tune_then_registry_hits(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        base = ["network", "tune", "--network", "resnet50", "--trials", "120",
+                "--scale", "0.05", "--registry", str(registry)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "end-to-end f(S)" in first
+        assert "inf" not in first.split("end-to-end f(S)")[1]  # finite f(S)
+        assert "registry hits" in first
+
+        # Second run on the same registry answers every task in O(1).
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "registry-hit" in second
+        assert "(0 trials, 0 jobs" in second
+
+    def test_network_tune_catalog_target_and_json(self, capsys, tmp_path):
+        import json as json_mod
+
+        out_json = tmp_path / "report.json"
+        assert main(["network", "tune", "--network", "resnet50",
+                     "--target", "epyc-7543", "--trials", "120",
+                     "--scale", "0.05", "--policy", "gradient",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "epyc-7543" in out and "policy=gradient" in out
+        data = json_mod.loads(out_json.read_text())
+        assert data["target"] == "epyc-7543"
+        assert data["final_latency"] < float("inf")
+        assert len(data["tasks"]) == 22
+
+    def test_cross_network_warm_start_hits(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        assert main(["network", "tune", "--network", "resnet50",
+                     "--trials", "120", "--scale", "0.05",
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["network", "tune", "--network", "mobilenet_v2",
+                     "--trials", "200", "--scale", "0.05",
+                     "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        # MobileNet's conv tasks warm-start from the ResNet entries.
+        assert "warm:" in out or "transfer:" in out
+        assert "resnet" in out.split("warm-started from")[1]
+
+    def test_network_report_coverage(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        assert main(["network", "tune", "--network", "resnet50",
+                     "--trials", "120", "--scale", "0.05",
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["network", "report", "--network", "resnet50",
+                     "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "registry coverage" in out
+        assert "fully covered" in out
+
+        assert main(["network", "report", "--network", "bert",
+                     "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "0/10 tasks covered" in out
+
+    def test_network_report_requires_registry(self, capsys):
+        assert main(["network", "report", "--network", "resnet50"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+
+class TestNetworkSweepCommand:
+    def test_sweep_networks_prints_and_saves(self, capsys, tmp_path):
+        report = tmp_path / "networks.csv"
+        registry = tmp_path / "registry"
+        code = main(["sweep", "--networks", "resnet50",
+                     "--targets", "xeon-6226r,epyc-7543", "--trials", "120",
+                     "--scale", "0.05", "--registry", str(registry),
+                     "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "network fleet sweep" in out
+        assert "xeon-6226r" in out and "epyc-7543" in out
+        assert "reused registry knowledge" in out
+        assert report.exists()
+        assert "f(S) (ms)" in report.read_text().splitlines()[0]
+
+    def test_sweep_rejects_unknown_network(self, capsys):
+        assert main(["sweep", "--networks", "alexnet", "--trials", "8"]) == 2
+        assert "unknown network" in capsys.readouterr().err
