@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage bench bench-smoke bench-full serve-demo network-smoke network-demo
+.PHONY: test coverage bench bench-smoke bench-full serve-demo network-smoke network-demo \
+	perf perf-gate lint
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -35,6 +36,24 @@ bench-full:
 ## shared tuning service (seconds; also a CI job).
 network-smoke:
 	$(PYTHON) -m pytest -m network_smoke tests -q
+
+## Hot-path micro-benchmarks: emits a schema-versioned BENCH_perf.json with
+## median/p95 wall-clock, throughput and fast-vs-legacy speedup per stage,
+## and enforces the tentpole floors (feature extraction >= 3x, NetworkTuner
+## round >= 1.5x over the in-process legacy path).
+perf:
+	$(PYTHON) benchmarks/perf/run.py --output BENCH_perf.json --check
+
+## perf + the CI regression gate: fail on >25% throughput regression in any
+## stage vs the checked-in benchmarks/perf/baseline.json.
+perf-gate: perf
+	$(PYTHON) benchmarks/perf/compare.py BENCH_perf.json benchmarks/perf/baseline.json
+
+## Static checks (requires ruff; config in ruff.toml).  Format enforcement
+## starts with the perf harness and will widen as files are formatted.
+lint:
+	ruff check .
+	ruff format --check benchmarks/perf
 
 ## Walk the serving subsystem: request coalescing, registry hits, transfer
 ## warm starts (see examples/serving_demo.py).

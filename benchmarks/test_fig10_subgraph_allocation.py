@@ -8,7 +8,6 @@ the portion spent afterwards ("> Ansor").
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.cache import cached_network_comparison
 from repro.experiments.reporting import format_table

@@ -11,7 +11,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.flextensor import FlextensorScheduler
 from repro.experiments.cache import bench_config, cached_network_comparison

@@ -9,7 +9,6 @@ ablation row — the same rows as Table 4 of the paper.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments.cache import cached_network_comparison
 from repro.experiments.reporting import format_table

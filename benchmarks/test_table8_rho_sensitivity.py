@@ -7,7 +7,6 @@ and search effort per trial, mirroring Table 8 of the paper.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.scheduler import HARLScheduler
 from repro.experiments.cache import bench_config

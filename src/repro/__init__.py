@@ -19,6 +19,14 @@ See ``README.md`` for install / quickstart and the layer-by-layer map, and
 pipeline and the persistent record store.
 """
 
+from repro.caching import (
+    cache_stats,
+    cached_lowering,
+    cached_sketches,
+    clear_caches,
+    legacy_hot_path,
+    reset_cache_stats,
+)
 from repro.core import HARLConfig, HARLScheduler, TuningResult
 from repro.baselines import AnsorScheduler, FlextensorScheduler, SimulatedAnnealingScheduler
 from repro.records import MeasureRecord, RecordStore, TuningRecord, load_records, save_records
@@ -73,7 +81,13 @@ __all__ = [
     "TuningRecord",
     "TuningResult",
     "__version__",
+    "cache_stats",
+    "cached_lowering",
+    "cached_sketches",
+    "clear_caches",
+    "legacy_hot_path",
     "load_records",
+    "reset_cache_stats",
     "save_records",
     "batch_gemm",
     "build_bert",

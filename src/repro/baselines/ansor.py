@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.caching import cached_sketches_for_target
 from repro.baselines.evolutionary import EvolutionarySearch
 from repro.baselines.task_scheduler import GradientTaskScheduler
 from repro.core.config import HARLConfig
@@ -27,7 +28,7 @@ from repro.hardware.target import HardwareTarget, cpu_target
 from repro.networks.graph import NetworkGraph
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
-from repro.tensor.sketch import Sketch, generate_sketches
+from repro.tensor.sketch import Sketch
 
 __all__ = ["AnsorConfig", "AnsorScheduler"]
 
@@ -131,9 +132,7 @@ class AnsorScheduler:
     def _sketches(self, dag: ComputeDAG) -> List[Sketch]:
         sketches = self._sketch_lists.get(dag.name)
         if sketches is None:
-            sketches = generate_sketches(
-                dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
-            )
+            sketches = cached_sketches_for_target(dag, self.target)
             self._sketch_lists[dag.name] = sketches
         return sketches
 
@@ -249,10 +248,7 @@ class AnsorScheduler:
             raise ValueError("n_trials must be >= 1")
         task_scheduler = GradientTaskScheduler(network, alpha=self.alpha, beta=self.beta)
         sketch_cache = {
-            sg.name: generate_sketches(
-                sg.dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
-            )
-            for sg in network
+            sg.name: cached_sketches_for_target(sg.dag, self.target) for sg in network
         }
         latency_history: List[Tuple[int, float]] = []
         start_trials = self.measurer.total_trials

@@ -10,10 +10,11 @@ baseline because Ansor dominates AutoTVM).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.caching import cached_sketches_for_target
 from repro.core.tuner import TuningResult
 from repro.costmodel.model import ScheduleCostModel
 from repro.hardware.measurer import Measurer
@@ -22,7 +23,6 @@ from repro.tensor.actions import ActionSpace, apply_action
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.sampler import sample_initial_schedules
 from repro.tensor.schedule import Schedule
-from repro.tensor.sketch import generate_sketches
 
 __all__ = ["SimulatedAnnealingScheduler"]
 
@@ -83,9 +83,7 @@ class SimulatedAnnealingScheduler:
             self._resume_store.replay(
                 dag, cost_model=self.cost_model, measurer=self.measurer
             )
-        sketch = generate_sketches(
-            dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
-        )[0]
+        sketch = cached_sketches_for_target(dag, self.target)[0]
         action_space = ActionSpace(sketch)
         temperature = self.initial_temperature
         start_trials = self.measurer.trials(dag.name)

@@ -9,7 +9,6 @@ can pick the top-K candidates for measurement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.caching import cached_sketches_for_target
 from repro.core.actor_critic import PPOAgent
 from repro.core.adaptive_stopping import FixedLengthStopper
 from repro.core.config import HARLConfig
@@ -25,7 +26,6 @@ from repro.hardware.target import HardwareTarget, cpu_target
 from repro.tensor.actions import ActionSpace
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.features import FEATURE_SIZE
-from repro.tensor.sketch import generate_sketches
 
 __all__ = ["FlextensorScheduler"]
 
@@ -65,9 +65,7 @@ class FlextensorScheduler:
         if searcher is None:
             # Flextensor works from a single general template: the plain
             # multi-level tiling sketch.
-            sketch = generate_sketches(
-                dag, self.target.sketch_spatial_levels, self.target.sketch_reduction_levels
-            )[0]
+            sketch = cached_sketches_for_target(dag, self.target)[0]
             agent = PPOAgent(
                 feature_size=FEATURE_SIZE,
                 head_sizes=ActionSpace(sketch).head_sizes,

@@ -53,7 +53,7 @@ from repro.records import RecordStore
 from repro.serving.fingerprint import structural_fingerprint
 from repro.serving.registry import ScheduleRegistry
 from repro.serving.service import TuningRequest, TuningService
-from repro.tensor.lowering import lower_schedule
+from repro.caching import cached_lowering
 
 __all__ = ["main", "build_parser"]
 
@@ -343,7 +343,7 @@ def _cmd_tune_op(args) -> int:
     ))
     if args.show_program and result.best_schedule is not None:
         print()
-        print(lower_schedule(result.best_schedule))
+        print(cached_lowering(result.best_schedule))
     if record_store is not None:
         record_store.close()
         print(f"\nrecords written to {args.records_out}")

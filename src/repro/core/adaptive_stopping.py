@@ -10,7 +10,6 @@ with better potential.  A :class:`FixedLengthStopper` is provided for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np

@@ -10,7 +10,7 @@ reward distributions drift during the tuning run.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 

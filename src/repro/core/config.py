@@ -9,8 +9,7 @@ in seconds instead of hours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 __all__ = ["HARLConfig"]
 

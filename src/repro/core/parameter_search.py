@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.actor_critic import PPOAgent
-from repro.core.adaptive_stopping import AdaptiveStopper, FixedLengthStopper
+from repro.core.adaptive_stopping import AdaptiveStopper
 from repro.core.config import HARLConfig
 from repro.hardware.measurer import MeasureResult, Measurer
 from repro.tensor.actions import ActionSpace, apply_action

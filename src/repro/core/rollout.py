@@ -10,7 +10,7 @@ the TD target, which the clipped PPO objective and the critic regression need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -16,10 +16,11 @@ MAB" variants of the evaluation section.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.caching import cached_sketches_for_target
 from repro.core.actor_critic import PPOAgent
 from repro.core.adaptive_stopping import AdaptiveStopper, FixedLengthStopper
 from repro.core.bandit import SlidingWindowUCB
@@ -35,7 +36,7 @@ from repro.tensor.actions import ActionSpace
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.features import FEATURE_SIZE
 from repro.tensor.schedule import Schedule
-from repro.tensor.sketch import Sketch, generate_sketches
+from repro.tensor.sketch import Sketch
 
 __all__ = ["HARLScheduler"]
 
@@ -45,10 +46,10 @@ class _TaskContext:
 
     def __init__(self, dag: ComputeDAG, scheduler: "HARLScheduler"):
         self.dag = dag
-        target = scheduler.target
-        self.sketches: List[Sketch] = generate_sketches(
-            dag, target.sketch_spatial_levels, target.sketch_reduction_levels
-        )
+        # Sketch families are memoised per (workload, target depths): repeat
+        # jobs for one workload — service resubmissions, network sweeps —
+        # share one generation instead of regenerating per task context.
+        self.sketches: List[Sketch] = cached_sketches_for_target(dag, scheduler.target)
         cfg = scheduler.config
         self.sketch_mab = SlidingWindowUCB(
             len(self.sketches),

@@ -11,7 +11,7 @@ and from the throughput achieved on *similar* subgraphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ scores are comparable across workloads and usable directly as RL rewards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -12,11 +12,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.core.tuner import NetworkTuningResult, TuningResult
+from repro.core.tuner import TuningResult
 
 __all__ = ["normalized_performance", "normalized_search_time", "speedup"]
 

@@ -28,11 +28,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.caching import hot_path_enabled
 from repro.hardware.simulator import LatencySimulator
 from repro.hardware.target import HardwareTarget
 from repro.tensor.schedule import Schedule
 
-__all__ = ["MeasureResult", "Measurer", "simulate_measurement"]
+__all__ = [
+    "MeasureResult",
+    "Measurer",
+    "simulate_measurement",
+    "simulate_measurement_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -113,14 +119,43 @@ def simulate_measurement(
     (latency, repeats):
         The noisy measured latency in seconds and the repeat count used.
     """
-    true_latency = simulator.latency(schedule)
-    repeats = int(
-        np.clip(np.ceil(min_repeat_seconds / max(true_latency, 1e-9)), 1, max_repeats)
-    )
+    return simulate_measurement_batch(
+        [schedule], simulator, noise, min_repeat_seconds, max_repeats, [noise_draw]
+    )[0]
+
+
+def simulate_measurement_batch(
+    schedules: Sequence[Schedule],
+    simulator: LatencySimulator,
+    noise: float,
+    min_repeat_seconds: float,
+    max_repeats: int,
+    noise_draws: Sequence[float],
+) -> List[Tuple[float, int]]:
+    """Simulate hardware measurements of a whole batch in one vectorised pass.
+
+    The simulator consumes the batch through
+    :meth:`~repro.hardware.simulator.LatencySimulator.batch_latency` (one
+    NumPy pass per sketch group) and the repeat/noise arithmetic is applied
+    as array expressions.  Per-element results are identical to calling
+    :func:`simulate_measurement` schedule by schedule, so worker pools may
+    split a batch into arbitrary chunks without changing any outcome.
+    """
+    if not schedules:
+        return []
+    true_latencies = simulator.batch_latency(schedules)
+    repeats = np.clip(
+        np.ceil(min_repeat_seconds / np.maximum(true_latencies, 1e-9)),
+        1,
+        max_repeats,
+    ).astype(np.int64)
     # Averaging `repeats` noisy samples shrinks the noise by sqrt(repeats).
     effective_noise = noise / np.sqrt(repeats)
-    factor = float(np.exp(noise_draw * effective_noise))
-    return true_latency * factor, repeats
+    factors = np.exp(np.asarray(noise_draws, dtype=np.float64) * effective_noise)
+    measured = true_latencies * factors
+    return [
+        (float(latency), int(reps)) for latency, reps in zip(measured, repeats)
+    ]
 
 
 class Measurer:
@@ -188,22 +223,34 @@ class Measurer:
     def _run_batch(
         self, schedules: Sequence[Schedule], draws: Sequence[float]
     ) -> List[Tuple[float, int]]:
-        """Evaluate a batch of (schedule, noise draw) measurement tasks serially.
+        """Evaluate a batch of (schedule, noise draw) measurement tasks.
 
+        The whole batch goes to the simulator in one vectorised pass (under
+        :func:`~repro.caching.legacy_hot_path` it degrades to the original
+        per-schedule loop, which the perf harness times as the baseline).
         Subclasses override this hook to fan the batch out over a worker
         pool; results must be returned in submission order.
         """
-        return [
-            simulate_measurement(
-                schedule,
-                self.simulator,
-                self.noise,
-                self.min_repeat_seconds,
-                self.max_repeats,
-                draw,
-            )
-            for schedule, draw in zip(schedules, draws)
-        ]
+        if not hot_path_enabled():
+            return [
+                simulate_measurement(
+                    schedule,
+                    self.simulator,
+                    self.noise,
+                    self.min_repeat_seconds,
+                    self.max_repeats,
+                    draw,
+                )
+                for schedule, draw in zip(schedules, draws)
+            ]
+        return simulate_measurement_batch(
+            schedules,
+            self.simulator,
+            self.noise,
+            self.min_repeat_seconds,
+            self.max_repeats,
+            draws,
+        )
 
     def _commit_batch(
         self, schedules: Sequence[Schedule], outcomes: Sequence[Tuple[float, int]]

@@ -26,7 +26,11 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
-from repro.hardware.measurer import Measurer, simulate_measurement
+from repro.hardware.measurer import (
+    Measurer,
+    simulate_measurement,
+    simulate_measurement_batch,
+)
 from repro.hardware.simulator import LatencySimulator
 from repro.hardware.target import HardwareTarget
 from repro.tensor.schedule import Schedule
@@ -128,20 +132,25 @@ class ParallelMeasurer(Measurer):
                 )
                 for schedule, draw in zip(schedules, draws)
             ]
-        else:
-            futures = [
-                executor.submit(
-                    simulate_measurement,
-                    schedule,
-                    self.simulator,
-                    self.noise,
-                    self.min_repeat_seconds,
-                    self.max_repeats,
-                    draw,
-                )
-                for schedule, draw in zip(schedules, draws)
-            ]
-        return [future.result() for future in futures]
+            return [future.result() for future in futures]
+        # Thread mode: split the batch into one contiguous, vectorised chunk
+        # per worker.  Per-element results are independent of the chunking
+        # (see simulate_measurement_batch), so worker count never changes
+        # outcomes — only how the NumPy passes are distributed.
+        chunk = max(1, -(-len(schedules) // self.num_workers))
+        futures = [
+            executor.submit(
+                simulate_measurement_batch,
+                schedules[start : start + chunk],
+                self.simulator,
+                self.noise,
+                self.min_repeat_seconds,
+                self.max_repeats,
+                draws[start : start + chunk],
+            )
+            for start in range(0, len(schedules), chunk)
+        ]
+        return [result for future in futures for result in future.result()]
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -10,7 +10,7 @@ appearances of subgraph ``n`` and ``g_n`` its execution time.  A
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.tensor.dag import ComputeDAG
 

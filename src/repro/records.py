@@ -25,13 +25,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Dict, Iterator, List, Optional, Sequence, Union
+from typing import IO, Iterator, List, Optional, Sequence, Union
 
 from repro.core.tuner import TuningResult
 from repro.serving.fingerprint import structural_fingerprint
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
-from repro.tensor.sketch import generate_sketches
+from repro.caching import cached_sketches
 
 __all__ = [
     "MeasureRecord",
@@ -89,7 +89,7 @@ def schedule_from_dict(
     depths = (int(data["spatial_levels"]), int(data["reduction_levels"]))
     sketches = None if sketch_cache is None else sketch_cache.get(depths)
     if sketches is None:
-        sketches = generate_sketches(
+        sketches = cached_sketches(
             dag, spatial_levels=depths[0], reduction_levels=depths[1]
         )
         if sketch_cache is not None:

@@ -58,7 +58,7 @@ from repro.serving.fingerprint import (
 from repro.tensor.dag import DTYPE_BYTES, ComputeDAG
 from repro.tensor.factors import prime_factors, product
 from repro.tensor.schedule import Schedule
-from repro.tensor.sketch import generate_sketches
+from repro.caching import cached_sketches
 
 __all__ = ["RegistryEntry", "ScheduleRegistry", "TransferCandidate"]
 
@@ -522,7 +522,7 @@ class ScheduleRegistry:
         stored rule (e.g. a fusion sketch borrowed for a fusion-free DAG).
         """
         try:
-            sketches = generate_sketches(
+            sketches = cached_sketches(
                 dag,
                 spatial_levels=int(data["spatial_levels"]),
                 reduction_levels=int(data["reduction_levels"]),
@@ -600,7 +600,7 @@ class ScheduleRegistry:
         of ``dag`` at the destination depths matches the stored rule.
         """
         try:
-            sketches = generate_sketches(
+            sketches = cached_sketches(
                 dag,
                 spatial_levels=target.sketch_spatial_levels,
                 reduction_levels=target.sketch_reduction_levels,

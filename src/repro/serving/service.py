@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.caching import cached_lowering
 from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.core.subgraph_reward import SubgraphState, normalized_rewards
@@ -194,8 +195,10 @@ class TuningService:
             donors = sorted({c.donor.target for c in candidates if c.cross_target})
             workloads = sorted({c.donor.workload for c in candidates})
             if donors or workloads:
+                # The fingerprint is memoised on the DAG (submit() already
+                # computed it), so this lookup stays outside the lock.
+                fingerprint = structural_fingerprint(dag)
                 with self._lock:
-                    fingerprint = structural_fingerprint(dag)
                     if donors:
                         self._transfer_donors[fingerprint] = donors
                     if workloads:
@@ -363,6 +366,11 @@ class TuningService:
         result = job.scheduler.finalize(job.dag)
         result.extras["fingerprint"] = job.key[0]
         result.extras["tenants"] = list(job.tenants)
+        if result.best_schedule is not None:
+            # Lowered program text for clients / reports; memoised by schedule
+            # signature, so repeated finalizes of one job (or the same best
+            # schedule resurfacing across jobs) lower exactly once.
+            result.extras["program"] = cached_lowering(result.best_schedule)
         with self._lock:
             donors = self._transfer_donors.pop(job.key[0], [])
             warm_donors = self._warm_start_donors.pop(job.key[0], [])

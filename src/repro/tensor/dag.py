@@ -12,7 +12,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+from repro.caching import fingerprint_stats
 
 __all__ = [
     "Iterator",
@@ -330,7 +332,9 @@ def structural_fingerprint(dag: "ComputeDAG") -> str:
     """
     cached = dag.__dict__.get(_FINGERPRINT_ATTR)
     if cached is not None:
+        fingerprint_stats.hits += 1
         return cached
+    fingerprint_stats.misses += 1
     payload = json.dumps(canonical_structure(dag), sort_keys=False)
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
     dag.__dict__[_FINGERPRINT_ATTR] = digest

@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.caching import hot_path_enabled
 from repro.tensor.schedule import Schedule
 from repro.tensor.sketch import Sketch
 
@@ -188,11 +189,30 @@ class _SketchLayout:
         self.template = template
 
 
+#: Attribute under which the layout is memoised on the (frozen) sketch.
+_LAYOUT_ATTR = "_feature_layout_cache"
+
+
+def _layout_of(sketch: Sketch) -> _SketchLayout:
+    """The sketch's feature layout, computed once per sketch instance.
+
+    Sketches are frozen dataclasses treated as immutable by every consumer,
+    so the layout is stored directly on the instance (like the DAG's
+    fingerprint cache) and shared by all batches that reference the sketch —
+    including across schedulers, thanks to the shared sketch cache.
+    """
+    layout = sketch.__dict__.get(_LAYOUT_ATTR)
+    if layout is None:
+        layout = _SketchLayout(sketch)
+        object.__setattr__(sketch, _LAYOUT_ATTR, layout)
+    return layout
+
+
 def _fill_group(
     out: np.ndarray, rows: Sequence[int], schedules: Sequence[Schedule]
 ) -> None:
     """Fill feature rows for a group of schedules that share one sketch."""
-    layout = _SketchLayout(schedules[0].sketch)
+    layout = _layout_of(schedules[0].sketch)
     rows = np.asarray(rows, dtype=np.intp)
     out[rows] = layout.template
 
@@ -255,6 +275,10 @@ def batch_features(schedules: Sequence[Schedule]) -> np.ndarray:
     """
     if not schedules:
         return np.zeros((0, FEATURE_SIZE), dtype=np.float64)
+    if not hot_path_enabled():
+        # Baseline reference path for benchmarks and equivalence tests: the
+        # per-schedule scalar implementation, stacked.
+        return np.stack([schedule_features(s) for s in schedules], axis=0)
     out = np.zeros((len(schedules), FEATURE_SIZE), dtype=np.float64)
     groups: Dict[int, Tuple[Sketch, List[int]]] = {}
     for idx, schedule in enumerate(schedules):

@@ -9,7 +9,7 @@ loop count, unroll depth) are drawn uniformly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

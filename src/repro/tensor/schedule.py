@@ -9,8 +9,8 @@ agent and the evolutionary search both operate on these objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.tensor.factors import product
 from repro.tensor.sketch import Sketch

@@ -10,7 +10,7 @@ and rfactor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.tensor.dag import ComputeDAG

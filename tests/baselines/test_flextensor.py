@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines.flextensor import FlextensorScheduler
 from repro.networks.bert import build_bert
-from repro.tensor.workloads import gemm
 
 
 class TestFlextensor:

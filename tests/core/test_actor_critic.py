@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.actor_critic import PPOAgent
-from repro.core.config import HARLConfig
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the adaptive-stopping module."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptive_stopping import AdaptiveStopper, FixedLengthStopper

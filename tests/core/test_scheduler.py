@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.networks.graph import NetworkGraph, Subgraph
 from repro.tensor.workloads import gemm, softmax

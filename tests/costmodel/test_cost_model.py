@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.costmodel.model import RandomCostModel, ScheduleCostModel
-from repro.hardware.measurer import Measurer
 from repro.hardware.simulator import LatencySimulator
 from repro.tensor.sampler import sample_initial_schedules
 from repro.tensor.sketch import generate_sketches

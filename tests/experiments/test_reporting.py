@@ -2,7 +2,6 @@
 
 import csv
 
-import pytest
 
 from repro.experiments.reporting import format_series, format_table, write_csv
 

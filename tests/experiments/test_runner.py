@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import HARLConfig
-from repro.experiments.runner import (
-    NetworkComparison,
-    OperatorComparison,
-    compare_on_network,
-    compare_on_operator,
-    default_trials,
-)
+from repro.experiments.runner import compare_on_network, compare_on_operator, default_trials
 from repro.networks.graph import NetworkGraph, Subgraph
 from repro.tensor.workloads import gemm, softmax
 

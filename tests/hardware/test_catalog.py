@@ -10,7 +10,7 @@ from repro.hardware.catalog import (
     target_distance,
     target_embedding,
 )
-from repro.hardware.target import HardwareTarget, cpu_target, gpu_target
+from repro.hardware.target import cpu_target, gpu_target
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the measurement harness."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.measurer import Measurer

@@ -6,16 +6,13 @@ progress histories) identical to the serial :class:`Measurer`, regardless of
 worker count or pool mode.
 """
 
-import numpy as np
 import pytest
 
-from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.hardware.catalog import default_catalog
 from repro.hardware.measurer import Measurer
 from repro.hardware.parallel import ParallelMeasurer
 from repro.tensor.sampler import sample_initial_schedules
-from repro.tensor.sketch import generate_sketches
 from repro.tensor.workloads import conv2d, gemm
 
 

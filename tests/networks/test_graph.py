@@ -3,7 +3,7 @@
 import pytest
 
 from repro.networks.graph import NetworkGraph, Subgraph
-from repro.tensor.workloads import gemm, softmax
+from repro.tensor.workloads import gemm
 
 
 def _subgraph(name, weight=1.0, m=64):

@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.serving.fingerprint import structural_fingerprint, workload_embedding
 from repro.serving.registry import RegistryEntry, ScheduleRegistry, _fit_tile_sizes

@@ -9,10 +9,9 @@ recorded in the destination entry's provenance.
 
 import pytest
 
-from repro.hardware.catalog import TargetCatalog, default_catalog
+from repro.hardware.catalog import default_catalog
 from repro.hardware.target import cpu_target
-from repro.serving.fingerprint import structural_fingerprint
-from repro.serving.registry import RegistryEntry, ScheduleRegistry
+from repro.serving.registry import ScheduleRegistry
 from repro.serving.service import TuningRequest, TuningService
 from repro.tensor.workloads import conv1d, conv2d, gemm
 

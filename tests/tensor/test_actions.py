@@ -1,13 +1,10 @@
 """Unit tests for the modification action space (Table 3)."""
 
-import numpy as np
 import pytest
 
-from repro.tensor.actions import DELTA_CHOICES, ActionSpace, ModificationAction, apply_action
+from repro.tensor.actions import ActionSpace, ModificationAction, apply_action
 from repro.tensor.factors import product
 from repro.tensor.sampler import sample_schedule
-from repro.tensor.sketch import generate_sketches
-from repro.tensor.workloads import gemm
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tensor.dag import ComputeDAG, Iterator, Stage, make_stage
+from repro.tensor.dag import ComputeDAG, Iterator, make_stage
 from repro.tensor.workloads import conv2d, gemm, softmax
 
 

@@ -1,7 +1,6 @@
 """Unit tests for schedule feature extraction."""
 
 import numpy as np
-import pytest
 
 from repro.tensor.actions import ActionSpace, ModificationAction, apply_action
 from repro.tensor.features import FEATURE_SIZE, batch_features, schedule_features
@@ -70,3 +69,29 @@ class TestBatchFeatures:
         stacked = batch_features(schedules)
         for row, schedule in zip(stacked, schedules):
             assert np.array_equal(row, schedule_features(schedule))
+
+
+class TestLayoutCacheAndLegacyPath:
+    def test_layout_memoised_on_sketch(self, gemm_sketch):
+        from repro.tensor.features import _layout_of
+
+        assert _layout_of(gemm_sketch) is _layout_of(gemm_sketch)
+
+    def test_shared_sketches_share_layouts(self):
+        from repro.caching import cached_sketches, clear_caches
+        from repro.tensor.features import _layout_of
+
+        clear_caches()
+        dag = gemm(64, 64, 64)
+        first = _layout_of(cached_sketches(dag)[0])
+        assert _layout_of(cached_sketches(dag)[0]) is first
+        clear_caches()
+
+    def test_legacy_path_is_bit_identical(self, gemm_sketch, rng):
+        from repro.caching import legacy_hot_path
+
+        schedules = sample_initial_schedules(gemm_sketch, 6, rng)
+        fast = batch_features(schedules)
+        with legacy_hot_path():
+            legacy = batch_features(schedules)
+        assert np.array_equal(fast, legacy)

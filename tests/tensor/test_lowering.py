@@ -1,6 +1,5 @@
 """Unit tests for schedule lowering / pretty-printing."""
 
-import numpy as np
 import pytest
 
 from repro.tensor.factors import product

@@ -7,7 +7,7 @@ from repro.tensor.factors import product
 from repro.tensor.sampler import sample_initial_schedules, sample_schedule
 from repro.tensor.schedule import GPU_UNROLL_DEPTHS
 from repro.tensor.sketch import generate_sketches
-from repro.tensor.workloads import conv2d, gemm, softmax
+from repro.tensor.workloads import conv2d, softmax
 
 
 class TestSampleSchedule:

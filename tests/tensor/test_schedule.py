@@ -1,6 +1,5 @@
 """Unit tests for the Schedule state representation."""
 
-import numpy as np
 import pytest
 
 from repro.tensor.factors import product

@@ -4,11 +4,10 @@ import json
 
 import pytest
 
-from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.costmodel.model import ScheduleCostModel
 from repro.hardware.measurer import Measurer
-from repro.records import MeasureRecord, RecordStore, schedule_to_dict
+from repro.records import RecordStore, schedule_to_dict
 from repro.tensor.sampler import sample_initial_schedules
 from repro.tensor.workloads import gemm
 

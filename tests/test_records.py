@@ -1,9 +1,7 @@
 """Unit tests for tuning-record persistence."""
 
-import numpy as np
 import pytest
 
-from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.hardware.simulator import LatencySimulator
 from repro.records import (
