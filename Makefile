@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-smoke bench-full serve-demo network-smoke network-demo \
-	perf perf-gate lint
+	perf perf-gate lint gate
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -48,6 +48,13 @@ perf:
 ## stage vs the checked-in benchmarks/perf/baseline.json.
 perf-gate: perf
 	$(PYTHON) benchmarks/perf/compare.py BENCH_perf.json benchmarks/perf/baseline.json
+
+## Release gate: run every fault-injection recovery obligation (registry,
+## record store, compaction, measurer pool, tuning service) over 3 seeds and
+## write the pass/fail report artifact (GATE_obligations.json).  Red report
+## == non-zero exit == the build does not ship.
+gate:
+	$(PYTHON) -m repro.faults.gate --seeds 3 --report GATE_obligations.json
 
 ## Static checks (requires ruff; config in ruff.toml).  Format enforcement
 ## starts with the perf harness and will widen as files are formatted.

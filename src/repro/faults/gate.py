@@ -1,0 +1,89 @@
+"""Command-line entry point of the obligation release gate.
+
+``python -m repro.faults.gate`` (or ``make gate``) runs every obligation in
+:data:`~repro.faults.obligations.OBLIGATIONS` under several seeds, writes the
+``GATE_obligations.json`` report artifact, prints one PASS/FAIL line per
+run, and exits non-zero if any obligation failed — which is what makes it a
+*gate*: CI refuses the build on a red report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.faults.obligations import OBLIGATIONS, ObligationOutcome, run_gate
+
+__all__ = ["main"]
+
+
+def _print_outcome(outcome: ObligationOutcome) -> None:
+    verdict = "PASS" if outcome.passed else "FAIL"
+    line = (
+        f"[{verdict}] {outcome.obligation.name} "
+        f"(seed {outcome.seed}, {outcome.duration_s:.2f}s)"
+    )
+    if not outcome.passed:
+        line += f": {outcome.message}"
+    print(line)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.gate",
+        description="Run the fault-injection recovery obligations (release gate).",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="run every obligation under seeds 0..N-1 (default: 3)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this obligation (repeatable)",
+    )
+    parser.add_argument(
+        "--report",
+        default="GATE_obligations.json",
+        metavar="PATH",
+        help="where to write the JSON report artifact",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the obligation table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for obligation in OBLIGATIONS:
+            print(f"{obligation.name}: {obligation.description}")
+        return 0
+
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    report = run_gate(
+        seeds=range(args.seeds), names=args.only, progress=_print_outcome
+    )
+    report.write(args.report)
+
+    failures = report.failures()
+    total = len(report.outcomes)
+    if failures:
+        print(
+            f"\nGATE FAILED: {len(failures)}/{total} obligation runs failed "
+            f"(report: {args.report})"
+        )
+        return 1
+    print(f"\nGATE PASSED: {total}/{total} obligation runs passed (report: {args.report})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

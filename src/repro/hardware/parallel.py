@@ -18,17 +18,30 @@ for the serial :class:`~repro.hardware.measurer.Measurer`:
 With a fixed seed, ``ParallelMeasurer(target, num_workers=4)`` therefore
 produces bit-identical latencies, histories and trial accounting to
 ``Measurer(target)``.
+
+Purity also makes the pipeline fault-tolerant for free: when a worker dies
+mid-batch (a real RPC board dropping off, or an injected
+:class:`~repro.faults.plan.WorkerDeath`), its span of the batch is simply
+re-evaluated inline — with the *same* pre-drawn noise — yielding results
+bit-identical to an undisturbed run.  Retries are bounded by
+``max_worker_retries`` so a persistently failing span surfaces as an error
+instead of an infinite loop.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import List, Optional, Sequence, Tuple
 
+from repro.faults.plan import WorkerDeath, poll as poll_fault
 from repro.hardware.measurer import (
     Measurer,
-    simulate_measurement,
     simulate_measurement_batch,
 )
 from repro.hardware.simulator import LatencySimulator
@@ -43,22 +56,27 @@ __all__ = ["ParallelMeasurer"]
 _WORKER_SIMULATORS = {}
 
 
-def _process_measure_task(
-    schedule: Schedule,
+def _process_span_task(
+    schedules: Sequence[Schedule],
     target: HardwareTarget,
     noise: float,
     min_repeat_seconds: float,
     max_repeats: int,
-    noise_draw: float,
-) -> Tuple[float, int]:
+    draws: Sequence[float],
+) -> List[Tuple[float, int]]:
     """Top-level worker entry point for process pools (must be picklable)."""
     simulator = _WORKER_SIMULATORS.get(target)
     if simulator is None:
         simulator = LatencySimulator(target)
         _WORKER_SIMULATORS[target] = simulator
-    return simulate_measurement(
-        schedule, simulator, noise, min_repeat_seconds, max_repeats, noise_draw
+    return simulate_measurement_batch(
+        schedules, simulator, noise, min_repeat_seconds, max_repeats, draws
     )
+
+
+def _injected_worker_death(index: int) -> List[Tuple[float, int]]:
+    """Top-level (picklable) stand-in for a task whose worker dies."""
+    raise WorkerDeath(f"worker evaluating measurement chunk {index} died")
 
 
 class ParallelMeasurer(Measurer):
@@ -77,6 +95,10 @@ class ParallelMeasurer(Measurer):
         real RPC measurer while keeping zero serialisation overhead;
         ``"process"`` pays pickling costs per task but provides true CPU
         parallelism for expensive measurement backends.
+    max_worker_retries:
+        How many times a span whose worker died is re-evaluated inline
+        before the batch gives up and raises
+        :class:`~repro.faults.plan.WorkerDeath`.
     noise / min_repeat_seconds / max_repeats / seed / record_store:
         Forwarded to :class:`~repro.hardware.measurer.Measurer`.
     """
@@ -86,6 +108,7 @@ class ParallelMeasurer(Measurer):
         target: HardwareTarget,
         num_workers: Optional[int] = None,
         mode: str = "thread",
+        max_worker_retries: int = 2,
         **kwargs,
     ):
         super().__init__(target, **kwargs)
@@ -93,6 +116,9 @@ class ParallelMeasurer(Measurer):
             raise ValueError(f"unknown pool mode {mode!r}; use 'thread' or 'process'")
         self.num_workers = max(1, int(num_workers or os.cpu_count() or 1))
         self.mode = mode
+        self.max_worker_retries = max(0, int(max_worker_retries))
+        self.worker_deaths = 0
+        self.worker_retries = 0
         self._executor: Optional[Executor] = None
 
     # ------------------------------------------------------------------ #
@@ -113,44 +139,128 @@ class ParallelMeasurer(Measurer):
     ) -> List[Tuple[float, int]]:
         """Fan a batch of measurement tasks out over the pool.
 
-        Futures are gathered in submission order, so downstream statistics
-        commits see the batch exactly as a serial measurer would.
+        The batch is split into contiguous *spans* (one schedule per span in
+        process mode, one chunk per worker in thread mode) and futures are
+        gathered in submission order, so downstream statistics commits see
+        the batch exactly as a serial measurer would.  A span whose worker
+        dies is recovered by :meth:`_retry_span`.
         """
         if self.num_workers == 1 or len(schedules) <= 1:
             return super()._run_batch(schedules, draws)
         executor = self._ensure_executor()
         if self.mode == "process":
-            futures = [
-                executor.submit(
-                    _process_measure_task,
-                    schedule,
-                    self.target,
-                    self.noise,
-                    self.min_repeat_seconds,
-                    self.max_repeats,
-                    draw,
-                )
-                for schedule, draw in zip(schedules, draws)
+            # One schedule per span: pickling whole chunks buys nothing and a
+            # dead worker then invalidates the smallest possible unit.
+            spans = [(start, start + 1) for start in range(len(schedules))]
+        else:
+            # Thread mode: split the batch into one contiguous, vectorised
+            # chunk per worker.  Per-element results are independent of the
+            # chunking (see simulate_measurement_batch), so worker count
+            # never changes outcomes — only how the NumPy passes are
+            # distributed.
+            chunk = max(1, -(-len(schedules) // self.num_workers))
+            spans = [
+                (start, min(start + chunk, len(schedules)))
+                for start in range(0, len(schedules), chunk)
             ]
-            return [future.result() for future in futures]
-        # Thread mode: split the batch into one contiguous, vectorised chunk
-        # per worker.  Per-element results are independent of the chunking
-        # (see simulate_measurement_batch), so worker count never changes
-        # outcomes — only how the NumPy passes are distributed.
-        chunk = max(1, -(-len(schedules) // self.num_workers))
         futures = [
-            executor.submit(
-                simulate_measurement_batch,
-                schedules[start : start + chunk],
+            self._submit_span(executor, index, schedules[lo:hi], draws[lo:hi])
+            for index, (lo, hi) in enumerate(spans)
+        ]
+        results: List[Tuple[float, int]] = []
+        for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
+            try:
+                results.extend(future.result())
+            except (WorkerDeath, BrokenExecutor) as cause:
+                self.worker_deaths += 1
+                if isinstance(cause, BrokenExecutor):
+                    # The pool itself is unusable; drop it so the next batch
+                    # rebuilds a fresh one.
+                    executor.shutdown(wait=False)
+                    self._executor = None
+                results.extend(
+                    self._retry_span(index, schedules[lo:hi], draws[lo:hi], cause)
+                )
+        return results
+
+    def _submit_span(
+        self,
+        executor: Executor,
+        index: int,
+        schedules: Sequence[Schedule],
+        draws: Sequence[float],
+    ):
+        """Submit one contiguous span of the batch to the pool.
+
+        The ``parallel.worker`` fault point is polled *here*, on the main
+        thread in submission order, so which span dies is deterministic for
+        a fixed plan regardless of pool scheduling.
+        """
+        fired = poll_fault("parallel.worker", detail=f"chunk-{index}")
+        die = fired is not None and fired.spec.kind == "worker_death"
+        if self.mode == "process":
+            if die:
+                return executor.submit(_injected_worker_death, index)
+            return executor.submit(
+                _process_span_task,
+                schedules,
+                self.target,
+                self.noise,
+                self.min_repeat_seconds,
+                self.max_repeats,
+                draws,
+            )
+        return executor.submit(self._thread_span_task, index, schedules, draws, die)
+
+    def _thread_span_task(
+        self,
+        index: int,
+        schedules: Sequence[Schedule],
+        draws: Sequence[float],
+        die: bool,
+    ) -> List[Tuple[float, int]]:
+        if die:
+            raise WorkerDeath(f"worker evaluating measurement chunk {index} died")
+        return simulate_measurement_batch(
+            schedules,
+            self.simulator,
+            self.noise,
+            self.min_repeat_seconds,
+            self.max_repeats,
+            draws,
+        )
+
+    def _retry_span(
+        self,
+        index: int,
+        schedules: Sequence[Schedule],
+        draws: Sequence[float],
+        cause: BaseException,
+    ) -> List[Tuple[float, int]]:
+        """Re-evaluate a dead worker's span inline, with bounded retries.
+
+        The task is pure and the noise draws are fixed, so the retried
+        results are bit-identical to what the dead worker would have
+        produced.  Retries poll the fault point again (detail
+        ``retry-K:chunk-N``) so tests can kill retries too and verify the
+        bound is honoured.
+        """
+        for attempt in range(1, self.max_worker_retries + 1):
+            fired = poll_fault("parallel.worker", detail=f"retry-{attempt}:chunk-{index}")
+            self.worker_retries += 1
+            if fired is not None and fired.spec.kind == "worker_death":
+                continue
+            return simulate_measurement_batch(
+                schedules,
                 self.simulator,
                 self.noise,
                 self.min_repeat_seconds,
                 self.max_repeats,
-                draws[start : start + chunk],
+                draws,
             )
-            for start in range(0, len(schedules), chunk)
-        ]
-        return [result for future in futures for result in future.result()]
+        raise WorkerDeath(
+            f"measurement chunk {index} failed {self.max_worker_retries + 1} times; giving up"
+        ) from cause
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -1,0 +1,60 @@
+"""Crash-tolerant helpers for the append-only JSONL stores.
+
+Both persistent stores (:class:`~repro.records.RecordStore` and the
+:class:`~repro.serving.registry.ScheduleRegistry` shards) append one JSON
+object per line with a single ``write`` + ``flush``.  A process killed inside
+that write leaves a *torn tail*: a strict prefix of the final line, almost
+never valid JSON and usually without a trailing newline.  Merely *skipping*
+that line at load time is not enough — the stores append with ``open("a")``,
+so the next committed record would concatenate onto the torn prefix and one
+*good* entry would be corrupted.  :func:`repair_torn_tail` therefore
+physically truncates the torn tail (and warns), restoring the one-object-
+per-line invariant before any parsing or appending happens.
+
+A complete final line that merely lacks its newline is valid JSON and is left
+alone; mid-file corruption is *not* touched here — that is a data-integrity
+question the stores answer via their ``strict`` policy.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+__all__ = ["repair_torn_tail"]
+
+
+def repair_torn_tail(path: Path, label: str = "JSONL file") -> int:
+    """Truncate a torn (partially written) final line off a JSONL file.
+
+    Returns the number of bytes removed (0 when the file ends cleanly or the
+    final line is syntactically valid JSON).  Emits a ``UserWarning`` naming
+    the file when a tail is removed: the entry it belonged to was never
+    durably committed, so dropping it is the only consistent recovery.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    stripped = raw.rstrip(b" \t\r\n")
+    if not stripped:
+        return 0
+    start = stripped.rfind(b"\n") + 1
+    tail = stripped[start:]
+    try:
+        json.loads(tail.decode("utf-8", errors="replace"))
+        return 0
+    except json.JSONDecodeError:
+        pass
+    removed = len(raw) - start
+    with path.open("rb+") as fh:
+        fh.truncate(start)
+    warnings.warn(
+        f"{label} {path} ended in a torn line; truncated {removed} partial "
+        "bytes (the interrupted append was never durably committed)",
+        UserWarning,
+        stacklevel=2,
+    )
+    return removed

@@ -22,12 +22,16 @@ workload.
 
 from __future__ import annotations
 
+import io
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Sequence, Union
 
 from repro.core.tuner import TuningResult
+from repro.faults.plan import poll as poll_fault
+from repro.jsonl import repair_torn_tail
 from repro.serving.fingerprint import structural_fingerprint
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
@@ -310,14 +314,25 @@ class RecordStore:
         skipped and counted in :attr:`skipped_lines`.
     """
 
+    #: Flushes slower than this (seconds) are counted in ``slow_flushes`` —
+    #: the observability hook behind the gate's slow-disk obligation.
+    slow_flush_threshold = 0.025
+
     def __init__(self, path: Optional[Union[str, Path]] = None, strict: bool = False):
         self.path = Path(path) if path is not None else None
         self.strict = bool(strict)
         self.skipped_lines = 0
+        self.truncated_tails = 0
+        self.slow_flushes = 0
+        self.flush_failures = 0
         self._measures: List[MeasureRecord] = []
         self._results: List[TuningRecord] = []
         self._fh: Optional[IO[str]] = None
         if self.path is not None and self.path.exists():
+            # A run killed mid-append leaves a torn final line; truncate it so
+            # this process never appends onto a partial write.
+            if repair_torn_tail(self.path, label="record store"):
+                self.truncated_tails += 1
             self._load_lines(self.path.read_text())
 
     # ------------------------------------------------------------------ #
@@ -356,25 +371,68 @@ class RecordStore:
     # appending
     # ------------------------------------------------------------------ #
     def _write_line(self, payload: dict) -> None:
+        """Durably append one line, keeping the log well-formed on failure.
+
+        A flush that fails (e.g. ENOSPC) may have written a partial line; the
+        log is rolled back to its pre-append length before the error is
+        re-raised, so a later retry appends a clean, complete line instead of
+        concatenating onto the partial one (which would corrupt the retried
+        record itself).  Load-time torn-tail repair remains the backstop when
+        even the rollback cannot complete.
+        """
         if self.path is None:
             return
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(payload) + "\n")
-        self._fh.flush()
+        line = json.dumps(payload) + "\n"
+        # "a" mode leaves the initial position platform-defined; pin it to the
+        # end so the rollback offset below is trustworthy.
+        self._fh.seek(0, io.SEEK_END)
+        committed = self._fh.tell()
+        began = time.perf_counter()
+        try:
+            fired = poll_fault("records.flush", detail=str(payload.get("kind", "")))
+            if fired is not None:
+                if fired.spec.kind == "slow_disk":
+                    fired.sleep()
+                elif fired.spec.kind == "enospc":
+                    self._fh.write(fired.torn_prefix(line))
+                    self._fh.flush()
+                    fired.raise_enospc()
+            self._fh.write(line)
+            self._fh.flush()
+        except OSError:
+            self.flush_failures += 1
+            self._rollback_to(committed)
+            raise
+        if time.perf_counter() - began > self.slow_flush_threshold:
+            self.slow_flushes += 1
+
+    def _rollback_to(self, offset: int) -> None:
+        """Best-effort truncation of a partial append back to ``offset``."""
+        assert self._fh is not None
+        try:
+            self._fh.truncate(offset)
+        except OSError:
+            pass  # the disk is truly wedged; load-time repair takes over
 
     def append_measure(self, record: MeasureRecord) -> None:
-        """Append one measurement record to the log."""
-        self._measures.append(record)
+        """Append one measurement record to the log.
+
+        The disk commit precedes the in-memory append: a failed flush raises
+        with memory and file still agreeing (the record simply is not
+        committed), so callers can retry without double counting.
+        """
         self._write_line({"kind": "measure", **record.to_dict()})
+        self._measures.append(record)
 
     def append_result(self, record: Union[TuningRecord, TuningResult]) -> None:
         """Append one final tuning result (converted from a result if needed)."""
         if isinstance(record, TuningResult):
             record = result_to_record(record)
-        self._results.append(record)
         self._write_line({"kind": "result", **record.to_dict()})
+        self._results.append(record)
 
     def record_measure(self, result, scheduler: str = "") -> None:
         """Append a live :class:`~repro.hardware.measurer.MeasureResult`.

@@ -48,7 +48,9 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.faults.plan import poll as poll_fault
 from repro.hardware.catalog import default_catalog, target_distance
+from repro.jsonl import repair_torn_tail
 from repro.hardware.target import HardwareTarget
 from repro.serving.fingerprint import (
     embedding_distance,
@@ -202,9 +204,12 @@ class ScheduleRegistry:
         self.strict = bool(strict)
         self.skipped_lines = 0
         self.total_lines = 0
+        self.truncated_tails = 0
+        self.removed_orphans = 0
         self._best: Dict[Tuple[str, str], RegistryEntry] = {}
         self._handles: Dict[int, IO[str]] = {}
         if self.root is not None and self.root.exists():
+            self.removed_orphans = self._remove_orphan_tmps()
             # Glob rather than range(num_shards): a registry written with a
             # different shard count must still load every entry.
             for path in sorted(self.root.glob("shard-*.jsonl")):
@@ -222,7 +227,28 @@ class ScheduleRegistry:
         assert self.root is not None
         return self.root / f"shard-{shard:02d}.jsonl"
 
+    def _remove_orphan_tmps(self) -> int:
+        """Delete half-written compaction temp files left by a crash.
+
+        A compaction killed before its atomic ``os.replace`` leaves a
+        ``shard-*.jsonl.tmp`` next to the intact shard.  The temp holds no
+        entry the shard does not, so dropping it is the whole recovery — but
+        it must be dropped, or crashed compactions accumulate garbage files
+        forever.
+        """
+        assert self.root is not None
+        removed = 0
+        for tmp in self.root.glob("shard-*.jsonl.tmp"):
+            tmp.unlink()
+            removed += 1
+        return removed
+
     def _load_lines(self, path: Path) -> None:
+        # A process killed mid-append leaves a torn final line; truncate it
+        # (even under strict — it is an expected crash artifact, not data
+        # corruption) so re-opened shards never append onto a partial line.
+        if repair_torn_tail(path, label="registry shard"):
+            self.truncated_tails += 1
         for lineno, line in enumerate(path.read_text().splitlines(), start=1):
             line = line.strip()
             if not line:
@@ -254,7 +280,16 @@ class ScheduleRegistry:
             self.root.mkdir(parents=True, exist_ok=True)
             fh = self._shard_path(shard).open("a", encoding="utf-8")
             self._handles[shard] = fh
-        fh.write(json.dumps(entry.to_dict()) + "\n")
+        line = json.dumps(entry.to_dict()) + "\n"
+        fired = poll_fault(
+            "registry.append", detail=f"shard-{shard:02d}:{entry.fingerprint}"
+        )
+        if fired is not None:
+            if fired.spec.kind == "torn_write":
+                fh.write(fired.torn_prefix(line))
+                fh.flush()
+            fired.crash(f"died appending {entry.fingerprint!r} to shard {shard}")
+        fh.write(line)
         fh.flush()
         self.total_lines += 1
 
@@ -410,6 +445,8 @@ class ScheduleRegistry:
                 self.total_lines - self.skipped_lines - len(self._best), 0
             ),
             "skipped_lines": self.skipped_lines,
+            "truncated_tails": self.truncated_tails,
+            "removed_orphans": self.removed_orphans,
         }
 
     def __len__(self) -> int:
@@ -745,6 +782,7 @@ class ScheduleRegistry:
             by_shard.setdefault(self._shard_of(entry.fingerprint), []).append(entry)
         removed = self.total_lines - self.skipped_lines - len(self._best)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.removed_orphans += self._remove_orphan_tmps()
         # Drop every existing shard file (including ones written under a
         # different shard count) before rewriting under the current mapping.
         stale_paths = set(self.root.glob("shard-*.jsonl"))
@@ -753,7 +791,21 @@ class ScheduleRegistry:
             tmp = path.with_suffix(".jsonl.tmp")
             with tmp.open("w", encoding="utf-8") as fh:
                 for entry in entries:
-                    fh.write(json.dumps(entry.to_dict()) + "\n")
+                    line = json.dumps(entry.to_dict()) + "\n"
+                    fired = poll_fault(
+                        "registry.compact", detail=f"mid_write:shard-{shard:02d}"
+                    )
+                    if fired is not None:
+                        if fired.spec.kind == "torn_write":
+                            fh.write(fired.torn_prefix(line))
+                            fh.flush()
+                        fired.crash(f"died rewriting shard {shard} mid-compaction")
+                    fh.write(line)
+            fired = poll_fault(
+                "registry.compact", detail=f"before_replace:shard-{shard:02d}"
+            )
+            if fired is not None:
+                fired.crash(f"died before atomically replacing shard {shard}")
             os.replace(tmp, path)
             stale_paths.discard(path)
         for path in stale_paths:

@@ -36,6 +36,7 @@ from repro.core.config import HARLConfig
 from repro.core.scheduler import HARLScheduler
 from repro.core.subgraph_reward import SubgraphState, normalized_rewards
 from repro.core.tuner import TuningResult
+from repro.faults.plan import InjectedCrash, poll as poll_fault
 from repro.hardware.target import HardwareTarget, cpu_target
 from repro.serving.fingerprint import structural_fingerprint
 from repro.serving.registry import ScheduleRegistry
@@ -179,6 +180,7 @@ class TuningService:
         self.jobs_created = 0
         self.registry_hits = 0
         self.coalesced_requests = 0
+        self.aborted_jobs = 0
 
     # ------------------------------------------------------------------ #
     # job construction
@@ -352,15 +354,119 @@ class TuningService:
             if not jobs:
                 break
             job = self._select_job(jobs)
-            spent = job.scheduler.tune_round(
-                job.dag, max_measures=job.n_trials - job.trials_used
-            )
-            job.trials_used += spent
-            job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+            self._drive_round(job, job.n_trials - job.trials_used)
             rounds += 1
-            if job.trials_used >= job.n_trials or spent == 0:
-                self._finish_job(job)
         return rounds
+
+    def _drive_round(self, job: _Job, budget: int) -> int:
+        """Run one tuning round on ``job``; returns the trials consumed.
+
+        Shared by :meth:`run` and :meth:`advance`.  A scheduler that raises
+        does not strand its waiters: the job is aborted (every coalesced
+        handle resolves with an error-tagged result) before the exception
+        propagates.  An :class:`~repro.faults.plan.InjectedCrash` is the one
+        exception to that — it simulates the whole process dying, so nothing
+        (including the abort path) may run after it; recovery happens in a
+        fresh service via :meth:`recover_from_records`.
+        """
+        try:
+            spent = job.scheduler.tune_round(job.dag, max_measures=budget)
+        except InjectedCrash:
+            raise
+        except Exception as exc:
+            self._abort_job(job, exc)
+            raise
+        job.trials_used += spent
+        job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+        fired = poll_fault("service.advance", detail=job.key[0][:12])
+        if fired is not None:
+            fired.crash(f"crash between advance and finish of job {job.key[0][:12]}")
+        if job.trials_used >= job.n_trials or spent == 0:
+            self._finish_job(job)
+        return spent
+
+    def _abort_job(self, job: _Job, exc: BaseException) -> None:
+        """Tear a failed job down without deadlocking its coalesced waiters.
+
+        Every handle resolves with the job's best-so-far (when the scheduler
+        can still finalize) or an explicit error result, the error is noted in
+        ``extras["error"]``, and the job leaves the in-flight table so a
+        resubmission starts fresh.
+        """
+        try:
+            result = job.scheduler.finalize(job.dag)
+        except Exception:
+            result = TuningResult(
+                workload=job.dag.name,
+                scheduler="aborted",
+                best_latency=float("inf"),
+                best_throughput=0.0,
+                best_schedule=None,
+                trials_used=job.trials_used,
+                search_steps=0,
+                history=[],
+            )
+        result.extras["fingerprint"] = job.key[0]
+        result.extras["tenants"] = list(job.tenants)
+        result.extras["error"] = f"{type(exc).__name__}: {exc}"
+        try:
+            # Salvage whatever the job did measure (record_result ignores
+            # inf-latency results, so a scheduler dead on arrival is a no-op).
+            self.registry.record_result(
+                job.dag, self.target, result, source="service:aborted"
+            )
+        except Exception:
+            pass
+        with self._lock:
+            self._jobs.pop(job.key, None)
+            self._order = [key for key in self._order if key != job.key]
+            self.aborted_jobs += 1
+        for handle in job.handles:
+            handle._finish(result)
+
+    def recover_from_records(self, store=None, source: str = "recovery") -> int:
+        """Fold a measurement log's best-per-workload back into the registry.
+
+        This is the restart path for a service that crashed between a round
+        commit and the job finish: the measurements were durably streamed to
+        the :class:`~repro.records.RecordStore`, but the registry never saw
+        the finished job.  Replaying the log's per-fingerprint best restores
+        the registry answer the crashed job would have produced.  Idempotent
+        (the registry only accepts strict improvements); returns how many
+        entries the registry accepted.
+        """
+        from repro.serving.registry import RegistryEntry
+
+        store = store if store is not None else self.record_store
+        if store is None:
+            return 0
+        best: Dict[str, Tuple[float, object]] = {}
+        counts: Dict[str, int] = {}
+        for rec in store.measures():
+            fingerprint = getattr(rec, "fingerprint", "") or ""
+            if not fingerprint:
+                continue
+            counts[fingerprint] = counts.get(fingerprint, 0) + 1
+            held = best.get(fingerprint)
+            if held is None or rec.latency < held[0]:
+                best[fingerprint] = (rec.latency, rec)
+        accepted = 0
+        for fingerprint, (latency, rec) in best.items():
+            entry = RegistryEntry(
+                fingerprint=fingerprint,
+                target=self.target.name,
+                workload=rec.workload,
+                latency=float(latency),
+                throughput=float(rec.throughput),
+                trials=counts[fingerprint],
+                scheduler=rec.scheduler or "recovered",
+                schedule=rec.schedule,
+                embedding=(),
+                source=source,
+            )
+            if self.registry.record(entry):
+                accepted += 1
+        return accepted
 
     def _finish_job(self, job: _Job) -> None:
         result = job.scheduler.finalize(job.dag)
@@ -421,12 +527,7 @@ class TuningService:
         budget = job.n_trials - job.trials_used
         if max_measures is not None:
             budget = min(budget, int(max_measures))
-        spent = job.scheduler.tune_round(job.dag, max_measures=budget)
-        job.trials_used += spent
-        job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
-        if job.trials_used >= job.n_trials or spent == 0:
-            self._finish_job(job)
-        return spent
+        return self._drive_round(job, budget)
 
     def finish(self, handle: JobHandle) -> TuningResult:
         """Finalize the job serving ``handle`` now, regardless of budget left.

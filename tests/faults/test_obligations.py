@@ -1,0 +1,122 @@
+"""Satellite 1: every gate obligation passes under several seeds, and the
+gate CLI reports/exits correctly (including the failure path)."""
+
+import json
+
+import pytest
+
+from repro.faults.gate import main as gate_main
+from repro.faults.obligations import (
+    OBLIGATIONS,
+    GateReport,
+    run_gate,
+    run_obligation,
+)
+from repro.faults.scenarios import SCENARIOS, ObligationViolation
+
+SEEDS = (0, 1, 2)
+
+
+class TestEveryObligationUnderEverySeed:
+    @pytest.mark.parametrize(
+        "obligation", OBLIGATIONS, ids=[o.name for o in OBLIGATIONS]
+    )
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_obligation_passes(self, obligation, seed):
+        outcome = run_obligation(obligation, seed)
+        assert outcome.passed, (
+            f"obligation {obligation.name} failed under seed {seed}: "
+            f"{outcome.message}"
+        )
+
+
+class TestObligationTable:
+    def test_every_scenario_is_an_obligation(self):
+        assert {o.scenario for o in OBLIGATIONS} == set(SCENARIOS.values())
+
+    def test_names_are_unique_and_namespaced(self):
+        names = [o.name for o in OBLIGATIONS]
+        assert len(names) == len(set(names))
+        assert all("." in name for name in names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown obligation"):
+            run_gate(seeds=(0,), names=["registry.not_a_thing"])
+
+
+class TestGateReport:
+    def test_report_schema(self, tmp_path):
+        report = run_gate(seeds=(0,), names=["records.slow_flush_flagged"])
+        path = tmp_path / "report.json"
+        report.write(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == "obligation-gate/1"
+        assert data["passed"] is True
+        assert data["seeds"] == [0]
+        (entry,) = data["obligations"]
+        assert entry["name"] == "records.slow_flush_flagged"
+        assert entry["passed"] is True
+        (run,) = entry["runs"]
+        assert run["seed"] == 0 and run["passed"] is True
+        assert run["duration_s"] >= 0
+
+    def test_failed_outcome_marks_report(self):
+        def always_fails(ctx):
+            raise ObligationViolation("deliberately broken")
+
+        broken = OBLIGATIONS[0].__class__(
+            name="test.always_fails",
+            description="a deliberately failing obligation",
+            scenario=always_fails,
+        )
+        outcome = run_obligation(broken, seed=0)
+        assert not outcome.passed
+        assert "deliberately broken" in outcome.message
+        report = GateReport(seeds=[0], outcomes=[outcome])
+        assert not report.passed
+        assert report.failures() == [outcome]
+
+    def test_scenario_crash_is_a_failure_not_an_error(self):
+        def crashes(ctx):
+            raise ZeroDivisionError("scenario bug")
+
+        broken = OBLIGATIONS[0].__class__(
+            name="test.crashes", description="crashing scenario", scenario=crashes
+        )
+        outcome = run_obligation(broken, seed=0)
+        assert not outcome.passed
+        assert "ZeroDivisionError" in outcome.message
+
+
+class TestGateCli:
+    def test_list_prints_table(self, capsys):
+        assert gate_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for obligation in OBLIGATIONS:
+            assert obligation.name in out
+
+    def test_single_obligation_run_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "gate.json"
+        code = gate_main(
+            [
+                "--seeds",
+                "1",
+                "--only",
+                "records.no_double_count",
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS] records.no_double_count" in out
+        assert "GATE PASSED" in out
+        assert json.loads(report.read_text())["passed"] is True
+
+    def test_unknown_only_errors(self, tmp_path):
+        with pytest.raises(KeyError):
+            gate_main(["--only", "nope.nope", "--report", str(tmp_path / "g.json")])
+
+    def test_zero_seeds_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            gate_main(["--seeds", "0", "--report", str(tmp_path / "g.json")])

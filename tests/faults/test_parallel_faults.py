@@ -1,0 +1,113 @@
+"""ParallelMeasurer fault tests: dead workers, bounded retries, broken pools.
+
+Satellite regression: when a worker dies mid-batch and its span is retried,
+the ParallelMeasurer must reproduce the serial measurer bit-for-bit —
+latencies, trial accounting and progress history alike.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, WorkerDeath, inject
+from repro.hardware.measurer import Measurer
+from repro.hardware.parallel import ParallelMeasurer
+from repro.tensor.sampler import sample_initial_schedules
+
+
+@pytest.fixture
+def schedules(gemm_sketch, rng):
+    return sample_initial_schedules(gemm_sketch, 12, rng)
+
+
+def _snapshot(measurer, workload):
+    return (
+        measurer.total_trials,
+        measurer.trials(workload),
+        measurer.best_latency(workload),
+        measurer.history(workload),
+    )
+
+
+class TestWorkerDeathRecovery:
+    def test_retried_batch_matches_serial_exactly(self, cpu, schedules):
+        name = schedules[0].dag.name
+        serial = Measurer(cpu, seed=3)
+        expected = serial.measure(schedules)
+
+        plan = FaultPlan.single("parallel.worker", "worker_death", match="chunk-1")
+        with ParallelMeasurer(cpu, num_workers=4, seed=3) as pool:
+            with inject(plan):
+                got = pool.measure(schedules)
+            assert pool.worker_deaths == 1
+            assert pool.worker_retries == 1
+            assert [r.latency for r in expected] == [r.latency for r in got]
+            assert [r.trial_index for r in expected] == [r.trial_index for r in got]
+            assert _snapshot(serial, name) == _snapshot(pool, name)
+
+    def test_every_chunk_can_die_and_recover(self, cpu, schedules):
+        expected = [r.latency for r in Measurer(cpu, seed=0).measure(schedules)]
+        for chunk in range(4):
+            plan = FaultPlan.single(
+                "parallel.worker", "worker_death", match=f"chunk-{chunk}"
+            )
+            with ParallelMeasurer(cpu, num_workers=4, seed=0) as pool:
+                with inject(plan):
+                    got = [r.latency for r in pool.measure(schedules)]
+            assert got == expected, f"divergence when chunk {chunk} died"
+
+    def test_subsequent_batches_unaffected(self, cpu, schedules):
+        serial = Measurer(cpu, seed=1)
+        expected = serial.measure(schedules[:6]) + serial.measure(schedules[6:])
+        plan = FaultPlan.single("parallel.worker", "worker_death", match="chunk-0")
+        with ParallelMeasurer(cpu, num_workers=3, seed=1) as pool:
+            with inject(plan):
+                got = pool.measure(schedules[:6])
+            got += pool.measure(schedules[6:])  # clean batch after the fault
+        assert [r.latency for r in expected] == [r.latency for r in got]
+
+
+class TestBoundedRetries:
+    def test_permanently_dying_span_raises(self, cpu, schedules):
+        plan = FaultPlan(
+            [FaultSpec("parallel.worker", "worker_death", match="chunk-0", times=50)]
+        )
+        with ParallelMeasurer(cpu, num_workers=4, seed=0) as pool:
+            with inject(plan):
+                with pytest.raises(WorkerDeath, match="giving up"):
+                    pool.measure(schedules)
+            assert pool.worker_retries == pool.max_worker_retries
+
+    def test_retry_budget_is_configurable(self, cpu, schedules):
+        plan = FaultPlan(
+            [FaultSpec("parallel.worker", "worker_death", match="chunk-0", times=50)]
+        )
+        with ParallelMeasurer(
+            cpu, num_workers=4, seed=0, max_worker_retries=5
+        ) as pool:
+            with inject(plan):
+                with pytest.raises(WorkerDeath):
+                    pool.measure(schedules)
+            assert pool.worker_retries == 5
+
+    def test_death_on_first_retry_still_recovers(self, cpu, schedules):
+        expected = [r.latency for r in Measurer(cpu, seed=2).measure(schedules)]
+        plan = FaultPlan(
+            [
+                FaultSpec("parallel.worker", "worker_death", match="chunk-2", times=2),
+            ]
+        )
+        with ParallelMeasurer(cpu, num_workers=4, seed=2) as pool:
+            with inject(plan):
+                got = [r.latency for r in pool.measure(schedules)]
+            assert pool.worker_retries == 2  # first retry died too
+        assert got == expected
+
+
+class TestProcessMode:
+    def test_injected_death_in_process_pool_recovers(self, cpu, schedules):
+        expected = [r.latency for r in Measurer(cpu, seed=4).measure(schedules[:4])]
+        plan = FaultPlan.single("parallel.worker", "worker_death", match="chunk-2")
+        with ParallelMeasurer(cpu, num_workers=2, mode="process", seed=4) as pool:
+            with inject(plan):
+                got = [r.latency for r in pool.measure(schedules[:4])]
+            assert pool.worker_deaths == 1
+        assert got == expected
