@@ -8,9 +8,12 @@ this script fails (exit 1) when any stage's throughput regressed by more than
 
 The machine-independent speedup floors (vectorised vs. in-process legacy
 path) are enforced separately by ``run.py --check``; this gate covers
-absolute throughput drift.  To refresh the baseline after an intentional
-change, run ``make perf`` and copy the new ``BENCH_perf.json`` over
-``benchmarks/perf/baseline.json`` (see ``docs/architecture.md``,
+absolute throughput drift.  It also enforces the observability-layer
+contract: the harness's ``obs_overhead`` measurement (tuning stage traced
+vs. untraced, both timed on this machine in this run) must stay within
+``--max-obs-overhead`` (default 2%).  To refresh the baseline after an
+intentional change, run ``make perf`` and copy the new ``BENCH_perf.json``
+over ``benchmarks/perf/baseline.json`` (see ``docs/architecture.md``,
 "Performance & benchmarking").
 """
 
@@ -63,6 +66,25 @@ def compare(current: dict, baseline: dict, max_regression: float) -> List[str]:
     return failures
 
 
+def check_obs_overhead(current: dict, max_overhead: float) -> List[str]:
+    """Failures of the instrumentation-overhead contract (empty when green).
+
+    ``obs_overhead`` is machine-independent (both sides of the ratio are
+    timed in the same run), so it is checked against a fixed ceiling rather
+    than against the baseline file.  Missing data fails: a harness that
+    stopped measuring the overhead must not silently pass the gate.
+    """
+    overhead = current.get("obs_overhead", {}).get("overhead_frac")
+    if overhead is None:
+        return ["obs_overhead missing from current run — harness regressed"]
+    if overhead > max_overhead:
+        return [
+            f"instrumentation overhead {overhead:.2%} exceeds the "
+            f"{max_overhead:.0%} ceiling on the tuning stage"
+        ]
+    return []
+
+
 def print_table(current: dict, baseline: dict) -> None:
     print(f"{'stage':<22} {'current':>14} {'baseline':>14} {'ratio':>8}  unit")
     for name, base_stage in baseline.get("stages", {}).items():
@@ -93,12 +115,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.25,
         help="allowed fractional throughput loss per stage (default 0.25)",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.02,
+        help="allowed fractional slowdown of the tuning stage with "
+        "instrumentation armed (default 0.02)",
+    )
     args = parser.parse_args(argv)
 
     current = load(args.current)
     baseline = load(args.baseline)
     print_table(current, baseline)
+    overhead = current.get("obs_overhead", {}).get("overhead_frac")
+    if overhead is not None:
+        print(f"\ninstrumentation overhead: {overhead:+.2%} "
+              f"(ceiling {args.max_obs_overhead:.0%})")
     failures = compare(current, baseline, args.max_regression)
+    failures += check_obs_overhead(current, args.max_obs_overhead)
     if failures:
         print()
         for failure in failures:

@@ -37,6 +37,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.caching import cache_stats, clear_caches, legacy_hot_path, reset_cache_stats
 from repro.core.config import HARLConfig
 from repro.costmodel.model import ScheduleCostModel
@@ -240,6 +241,37 @@ def bench_tuning_round(repeats: int, n_trials: int) -> Dict[str, object]:
     return _stage("tuning_round", fast, n_trials, "trials/s", legacy)
 
 
+def bench_obs_overhead(repeats: int, n_trials: int) -> Dict[str, object]:
+    """Instrumentation overhead on the six-stage harness's tuning stage.
+
+    Times the full ``NetworkTuner`` run (the harness stage that crosses every
+    instrumented layer: service rounds, measurement batches, registry appends,
+    cache lookups) with tracing unarmed versus armed, and reports the
+    fractional overhead.  ``compare.py --max-obs-overhead`` gates this at 2%.
+    """
+    baseline = _time(lambda: _run_network_tuning(n_trials), repeats, warmup=1)
+
+    def traced():
+        with obs.tracing():
+            return _run_network_tuning(n_trials)
+
+    armed = _time(traced, repeats, warmup=1)
+    baseline_median = statistics.median(baseline)
+    traced_median = statistics.median(armed)
+    overhead = (
+        traced_median / baseline_median - 1.0 if baseline_median > 0 else 0.0
+    )
+    print(
+        f"  {'obs_overhead':<22} baseline {baseline_median * 1e3:9.3f} ms   "
+        f"traced {traced_median * 1e3:9.3f} ms   overhead {overhead * 100:+.2f}%"
+    )
+    return {
+        "baseline_median_s": baseline_median,
+        "traced_median_s": traced_median,
+        "overhead_frac": overhead,
+    }
+
+
 def _seed_registry(registry: ScheduleRegistry) -> None:
     """Register donor schedules for a family of GEMM shapes."""
     target = cpu_target()
@@ -302,10 +334,15 @@ def run_harness(repeats: int, batch: int, n_trials: int) -> Dict[str, object]:
         "tuning_round": bench_tuning_round(max(2, repeats // 2), n_trials),
         "registry_warm_start": bench_registry_warm_start(repeats, 128),
     }
+    # Outside "stages": the stage loop in compare.py (and old baselines)
+    # only knows throughput entries; the overhead check reads this key.
+    obs_overhead = bench_obs_overhead(max(2, repeats // 2), n_trials)
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "hot-path-microbench",
         "stages": stages,
+        "obs_overhead": obs_overhead,
+        "obs": obs.snapshot(),
         "cache_stats": cache_stats(),
         "meta": {
             "python": platform.python_version(),
@@ -351,12 +388,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail unless the tentpole speedup floors hold "
         "(feature extraction >= 3x, tuning round >= 1.5x)",
     )
+    parser.add_argument(
+        "--metrics-output",
+        default=str(REPO_ROOT / "BENCH_metrics.json"),
+        help="where to write the repro.obs metrics snapshot "
+        "(default: repo-root BENCH_metrics.json)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_harness(args.repeats, args.batch, args.trials)
     out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {out}")
+    metrics_out = obs.write_snapshot(args.metrics_output)
+    print(f"wrote {metrics_out}")
 
     if args.check:
         failures = check_speedups(payload)

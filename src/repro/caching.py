@@ -45,6 +45,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterator, List, TypeVar
 
+from repro.obs.metrics import register_collector as _register_collector
+
 __all__ = [
     "CacheStats",
     "MemoCache",
@@ -266,6 +268,27 @@ def cache_stats() -> Dict[str, Dict[str, float]]:
         lowering_cache.name: lowering_cache.stats.snapshot(),
         fingerprint_stats.name: fingerprint_stats.snapshot(),
     }
+
+
+def _collect_cache_metrics() -> Dict[str, float]:
+    """Publish the shared caches' counters into ``repro.obs`` snapshots.
+
+    The counters stay stored in the per-cache :class:`CacheStats` records
+    (tests build private ``MemoCache`` instances and expect isolated,
+    zero-started counters, so globally named instruments are the wrong
+    storage); a registry *collector* re-exposes the three process-wide
+    caches under ``cache.<name>.<counter>`` at snapshot time, which makes
+    ``cache_stats()`` a thin shim over the same numbers ``repro metrics``
+    reports.
+    """
+    flat: Dict[str, float] = {}
+    for name, stats in cache_stats().items():
+        for key, value in stats.items():
+            flat[f"cache.{name}.{key}"] = value
+    return flat
+
+
+_register_collector("caching", _collect_cache_metrics)
 
 
 def reset_cache_stats() -> None:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine sub-commands cover the common workflows:
+Eleven sub-commands cover the common workflows:
 
 * ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
 * ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end with one
@@ -23,6 +23,13 @@ Nine sub-commands cover the common workflows:
 * ``sweep``        — tune a workload suite — Table 6 operators (``--ops``) or
   whole networks (``--networks``) — across several catalog targets over one
   registry, printing (and optionally saving) the cross-target report.
+* ``metrics``      — run a demo request batch through the tuning service and
+  report the unified ``repro.obs`` metrics: registry hit rate, submit→finish
+  latency percentiles from real histogram buckets, cache counters — as a
+  summary, Prometheus text exposition, or JSON snapshot.
+* ``trace``        — run a traced tuning round and emit the span tree:
+  service rounds, measurement batches, per-worker chunks, injected-fault
+  events — as JSONL records plus an indented tree rendering.
 
 All latencies come from the simulated hardware targets.  ``--target``
 accepts any catalog name (``repro targets list``) plus the ``cpu`` / ``gpu``
@@ -54,6 +61,7 @@ from repro.serving.fingerprint import structural_fingerprint
 from repro.serving.registry import ScheduleRegistry
 from repro.serving.service import TuningRequest, TuningService
 from repro.caching import cached_lowering
+from repro import obs
 
 __all__ = ["main", "build_parser"]
 
@@ -159,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--registry", metavar="DIR", default=None,
                        help="persistent schedule registry directory: record "
                             "best schedules into it and warm-start from it")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the repro.obs metrics JSON snapshot to "
+                            "FILE when the command finishes")
 
     op = sub.add_parser("tune-op", help="tune one Table 6 operator class",
                         epilog=_EPILOG,
@@ -271,6 +282,35 @@ def build_parser() -> argparse.ArgumentParser:
                      default="harl")
     swp.add_argument("--report", metavar="FILE", default=None,
                      help="write the cross-target report to this CSV file")
+
+    met = sub.add_parser(
+        "metrics",
+        help="run a demo service batch and report the unified metrics",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(met)
+    met.set_defaults(trials=16, scale=0.1)
+    met.add_argument("--format", choices=("summary", "prometheus", "json"),
+                     default="summary", dest="fmt",
+                     help="output format (summary adds the exposition on top "
+                          "of the human-readable digest)")
+    met.add_argument("--no-demo", action="store_true",
+                     help="skip the demo batch and just report current metrics "
+                          "(useful after --registry runs in the same process)")
+
+    trc = sub.add_parser(
+        "trace",
+        help="run a traced tuning round and emit the JSONL span tree",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(trc)
+    trc.set_defaults(trials=16, scale=0.1)
+    trc.add_argument("--output", metavar="FILE", default=None,
+                     help="write the JSONL trace records to FILE")
+    trc.add_argument("--jsonl", action="store_true",
+                     help="also print the raw JSONL records to stdout")
 
     return parser
 
@@ -551,6 +591,110 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _run_service_demo(args, waves: int = 1):
+    """Run the built-in serve demo batch ``waves`` times over one registry.
+
+    The second wave resubmits structurally identical workloads, so it is
+    answered from the registry — which is exactly what makes the metrics
+    report show non-trivial hit rates and fast-path latencies.
+    """
+    target = _resolve_target(args.target)
+    config = HARLConfig.scaled(args.scale)
+    registry = _open_registry(args)
+    if registry is None:
+        registry = ScheduleRegistry()
+    record_store = RecordStore(args.records_out) if args.records_out else None
+    service = TuningService(
+        registry=registry, target=target, config=config, seed=args.seed,
+        record_store=record_store, num_workers=args.num_workers,
+    )
+    handles = []
+    for _wave in range(waves):
+        handles.extend(service.process(_demo_requests(args.trials, "harl")))
+    if record_store is not None:
+        record_store.close()
+    registry.close()
+    return service, handles
+
+
+def _percentile_row(summary: dict) -> str:
+    return (f"p50={summary['p50'] * 1e3:.3f}ms  "
+            f"p95={summary['p95'] * 1e3:.3f}ms  "
+            f"p99={summary['p99'] * 1e3:.3f}ms  "
+            f"(count={summary['count']})")
+
+
+def _cmd_metrics(args) -> int:
+    if not args.no_demo:
+        # Two waves: wave 1 tunes the demo workloads cold, wave 2 resubmits
+        # them and is answered from the registry, so the snapshot shows the
+        # full hit/miss/coalesce story.
+        _run_service_demo(args, waves=2)
+    snap = obs.snapshot()
+    if args.fmt == "json":
+        print(json.dumps(snap, indent=2))
+        return 0
+    if args.fmt == "prometheus":
+        print(obs.render_prometheus(), end="")
+        return 0
+    counters = snap["counters"]
+    lookups = counters.get("registry.lookups", 0)
+    hits = counters.get("registry.hits", 0)
+    hit_rate = hits / lookups if lookups else 0.0
+    print("service")
+    print(f"  requests:      {counters.get('service.requests', 0)}")
+    print(f"  registry hits: {counters.get('service.registry_hits', 0)}")
+    print(f"  coalesced:     {counters.get('service.coalesced', 0)}")
+    print(f"  jobs created:  {counters.get('service.jobs_created', 0)} "
+          f"(finished {counters.get('service.jobs_finished', 0)}, "
+          f"aborted {counters.get('service.jobs_aborted', 0)})")
+    submit = snap["histograms"].get("service.submit_to_finish_seconds")
+    if submit and submit["count"]:
+        print(f"  submit→finish: {_percentile_row(submit)}")
+    print("registry")
+    print(f"  lookups:       {lookups} (hit rate {hit_rate:.1%})")
+    print(f"  transfer:      {counters.get('registry.transfer_lookups', 0)} lookups, "
+          f"{counters.get('registry.transfer_candidates', 0)} candidates")
+    for name, label in (
+        ("registry.append_seconds", "appends"),
+        ("registry.shard_load_seconds", "shard loads"),
+        ("records.flush_seconds", "record flushes"),
+        ("parallel.batch_seconds", "parallel batches"),
+    ):
+        summary = snap["histograms"].get(name)
+        if summary and summary["count"]:
+            print(f"  {label + ':':<14} {_percentile_row(summary)}")
+    caches = {
+        key: value for key, value in snap["collected"].items()
+        if key.startswith("cache.")
+    }
+    if caches:
+        print("caches")
+        for name in ("sketches", "lowering", "fingerprint"):
+            rate = caches.get(f"cache.{name}.hit_rate")
+            if rate is not None:
+                print(f"  {name + ':':<13} hits={caches[f'cache.{name}.hits']} "
+                      f"misses={caches[f'cache.{name}.misses']} "
+                      f"(hit rate {rate:.1%})")
+    print()
+    print(obs.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    with obs.tracing(args.output) as tracer:
+        _run_service_demo(args, waves=1)
+    if args.jsonl or not args.output:
+        for line in tracer.lines():
+            print(line)
+        print()
+    print(tracer.tree())
+    if args.output:
+        print(f"\ntrace written to {args.output} "
+              f"({len(tracer.records)} records)")
+    return 0
+
+
 def _cmd_query(args) -> int:
     target = _resolve_target(args.target)
     registry = ScheduleRegistry(args.registry)
@@ -725,27 +869,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+_COMMANDS = {
+    "tune-op": _cmd_tune_op,
+    "tune-network": _cmd_tune_network,
+    "network": _cmd_network,
+    "compare": _cmd_compare,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "registry": _cmd_registry,
+    "targets": _cmd_targets,
+    "sweep": _cmd_sweep,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "tune-op":
-        return _cmd_tune_op(args)
-    if args.command == "tune-network":
-        return _cmd_tune_network(args)
-    if args.command == "network":
-        return _cmd_network(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "query":
-        return _cmd_query(args)
-    if args.command == "registry":
-        return _cmd_registry(args)
-    if args.command == "targets":
-        return _cmd_targets(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    raise KeyError(args.command)
+    code = _COMMANDS[args.command](args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = obs.write_snapshot(metrics_out)
+        print(f"metrics snapshot written to {path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

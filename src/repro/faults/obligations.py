@@ -179,6 +179,9 @@ class GateReport:
                     "name": obligation.name,
                     "description": obligation.description,
                     "passed": all(run.passed for run in runs),
+                    # Wall clock summed over this obligation's seed runs, so
+                    # gate-time regressions show up per row in the artifact.
+                    "duration_s": round(sum(run.duration_s for run in runs), 4),
                     "runs": [
                         {
                             "seed": run.seed,
@@ -194,6 +197,7 @@ class GateReport:
             "schema": "obligation-gate/1",
             "seeds": list(self.seeds),
             "passed": self.passed,
+            "duration_s": round(sum(o.duration_s for o in self.outcomes), 4),
             "obligations": obligations,
         }
 

@@ -35,6 +35,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import counter
+from repro.obs.trace import trace_event
+
 __all__ = [
     "FAULT_POINTS",
     "FAULT_KINDS",
@@ -62,6 +65,8 @@ FAULT_POINTS = {
 
 #: What a firing spec does at its point.
 FAULT_KINDS = ("torn_write", "crash", "enospc", "slow_disk", "worker_death")
+
+_INJECTED = counter("faults.injected", "Faults fired by an armed FaultPlan")
 
 
 class InjectedFault(Exception):
@@ -187,6 +192,7 @@ class FaultPlan:
 
     def poll(self, point: str, detail: str = "") -> Optional[FiredFault]:
         """Record one arrival at ``point``; return the firing spec, if any."""
+        fired: Optional[FiredFault] = None
         with self._lock:
             for index, spec in enumerate(self.specs):
                 if spec.point != point:
@@ -197,8 +203,17 @@ class FaultPlan:
                 self._arrivals[index] += 1
                 if spec.at <= arrival < spec.at + spec.times:
                     self.fired.append((point, spec.kind, detail))
-                    return FiredFault(spec, self, detail)
-            return None
+                    fired = FiredFault(spec, self, detail)
+                    break
+        if fired is not None:
+            # Observability hooks run outside the plan lock: a fired fault is
+            # both a counter tick and a trace event, so trace trees show the
+            # injected failure inline with the spans it disturbed.
+            _INJECTED.inc()
+            trace_event(
+                "fault.injected", point=point, kind=fired.spec.kind, detail=detail
+            )
+        return fired
 
 
 # --------------------------------------------------------------------- #

@@ -31,6 +31,7 @@ instead of an infinite loop.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -46,9 +47,16 @@ from repro.hardware.measurer import (
 )
 from repro.hardware.simulator import LatencySimulator
 from repro.hardware.target import HardwareTarget
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import current_span_id, span as obs_span
 from repro.tensor.schedule import Schedule
 
 __all__ = ["ParallelMeasurer"]
+
+_BATCHES = counter("parallel.batches", "Measurement batches fanned out over a pool")
+_WORKER_DEATHS = counter("parallel.worker_deaths", "Worker deaths observed mid-batch")
+_WORKER_RETRIES = counter("parallel.worker_retries", "Inline retries of dead workers' spans")
+_BATCH_SECONDS = histogram("parallel.batch_seconds", help="Wall time per parallel batch")
 
 #: Per-process simulator cache for process-pool workers, keyed by the full
 #: (frozen, hashable) target so two different configurations never collide,
@@ -147,40 +155,60 @@ class ParallelMeasurer(Measurer):
         """
         if self.num_workers == 1 or len(schedules) <= 1:
             return super()._run_batch(schedules, draws)
-        executor = self._ensure_executor()
-        if self.mode == "process":
-            # One schedule per span: pickling whole chunks buys nothing and a
-            # dead worker then invalidates the smallest possible unit.
-            spans = [(start, start + 1) for start in range(len(schedules))]
-        else:
-            # Thread mode: split the batch into one contiguous, vectorised
-            # chunk per worker.  Per-element results are independent of the
-            # chunking (see simulate_measurement_batch), so worker count
-            # never changes outcomes — only how the NumPy passes are
-            # distributed.
-            chunk = max(1, -(-len(schedules) // self.num_workers))
-            spans = [
-                (start, min(start + chunk, len(schedules)))
-                for start in range(0, len(schedules), chunk)
-            ]
-        futures = [
-            self._submit_span(executor, index, schedules[lo:hi], draws[lo:hi])
-            for index, (lo, hi) in enumerate(spans)
-        ]
-        results: List[Tuple[float, int]] = []
-        for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
-            try:
-                results.extend(future.result())
-            except (WorkerDeath, BrokenExecutor) as cause:
-                self.worker_deaths += 1
-                if isinstance(cause, BrokenExecutor):
-                    # The pool itself is unusable; drop it so the next batch
-                    # rebuilds a fresh one.
-                    executor.shutdown(wait=False)
-                    self._executor = None
-                results.extend(
-                    self._retry_span(index, schedules[lo:hi], draws[lo:hi], cause)
+        began = time.perf_counter()
+        with obs_span(
+            "measure.batch",
+            schedules=len(schedules),
+            workers=self.num_workers,
+            mode=self.mode,
+        ) as batch_span:
+            executor = self._ensure_executor()
+            # Thread-pool workers do not inherit this thread's context, so
+            # the batch span's id is captured here (inside the span) and
+            # handed to each worker task explicitly as its parent.
+            parent = current_span_id()
+            if self.mode == "process":
+                # One schedule per span: pickling whole chunks buys nothing and a
+                # dead worker then invalidates the smallest possible unit.
+                spans = [(start, start + 1) for start in range(len(schedules))]
+            else:
+                # Thread mode: split the batch into one contiguous, vectorised
+                # chunk per worker.  Per-element results are independent of the
+                # chunking (see simulate_measurement_batch), so worker count
+                # never changes outcomes — only how the NumPy passes are
+                # distributed.
+                chunk = max(1, -(-len(schedules) // self.num_workers))
+                spans = [
+                    (start, min(start + chunk, len(schedules)))
+                    for start in range(0, len(schedules), chunk)
+                ]
+            futures = [
+                self._submit_span(
+                    executor, index, schedules[lo:hi], draws[lo:hi], parent
                 )
+                for index, (lo, hi) in enumerate(spans)
+            ]
+            results: List[Tuple[float, int]] = []
+            deaths = 0
+            for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
+                try:
+                    results.extend(future.result())
+                except (WorkerDeath, BrokenExecutor) as cause:
+                    self.worker_deaths += 1
+                    deaths += 1
+                    _WORKER_DEATHS.inc()
+                    if isinstance(cause, BrokenExecutor):
+                        # The pool itself is unusable; drop it so the next batch
+                        # rebuilds a fresh one.
+                        executor.shutdown(wait=False)
+                        self._executor = None
+                    results.extend(
+                        self._retry_span(index, schedules[lo:hi], draws[lo:hi], cause)
+                    )
+            if deaths:
+                batch_span.annotate(worker_deaths=deaths)
+        _BATCHES.inc()
+        _BATCH_SECONDS.observe(time.perf_counter() - began)
         return results
 
     def _submit_span(
@@ -189,12 +217,15 @@ class ParallelMeasurer(Measurer):
         index: int,
         schedules: Sequence[Schedule],
         draws: Sequence[float],
+        parent=None,
     ):
         """Submit one contiguous span of the batch to the pool.
 
         The ``parallel.worker`` fault point is polled *here*, on the main
         thread in submission order, so which span dies is deterministic for
-        a fixed plan regardless of pool scheduling.
+        a fixed plan regardless of pool scheduling.  ``parent`` is the trace
+        id of the enclosing batch span, forwarded because pool workers do
+        not inherit the submitting thread's context.
         """
         fired = poll_fault("parallel.worker", detail=f"chunk-{index}")
         die = fired is not None and fired.spec.kind == "worker_death"
@@ -210,7 +241,9 @@ class ParallelMeasurer(Measurer):
                 self.max_repeats,
                 draws,
             )
-        return executor.submit(self._thread_span_task, index, schedules, draws, die)
+        return executor.submit(
+            self._thread_span_task, index, schedules, draws, die, parent
+        )
 
     def _thread_span_task(
         self,
@@ -218,17 +251,21 @@ class ParallelMeasurer(Measurer):
         schedules: Sequence[Schedule],
         draws: Sequence[float],
         die: bool,
+        parent=None,
     ) -> List[Tuple[float, int]]:
-        if die:
-            raise WorkerDeath(f"worker evaluating measurement chunk {index} died")
-        return simulate_measurement_batch(
-            schedules,
-            self.simulator,
-            self.noise,
-            self.min_repeat_seconds,
-            self.max_repeats,
-            draws,
-        )
+        with obs_span(
+            "measure.chunk", parent=parent, chunk=index, schedules=len(schedules)
+        ):
+            if die:
+                raise WorkerDeath(f"worker evaluating measurement chunk {index} died")
+            return simulate_measurement_batch(
+                schedules,
+                self.simulator,
+                self.noise,
+                self.min_repeat_seconds,
+                self.max_repeats,
+                draws,
+            )
 
     def _retry_span(
         self,
@@ -248,6 +285,7 @@ class ParallelMeasurer(Measurer):
         for attempt in range(1, self.max_worker_retries + 1):
             fired = poll_fault("parallel.worker", detail=f"retry-{attempt}:chunk-{index}")
             self.worker_retries += 1
+            _WORKER_RETRIES.inc()
             if fired is not None and fired.spec.kind == "worker_death":
                 continue
             return simulate_measurement_batch(

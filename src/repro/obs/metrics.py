@@ -1,0 +1,471 @@
+"""Thread-safe metrics primitives: counters, gauges and latency histograms.
+
+This is the *numbers* half of the observability layer (:mod:`repro.obs`); the
+*timelines* half — spans and trace events — lives in :mod:`repro.obs.trace`.
+
+Design rules, in the same spirit as :func:`repro.faults.plan.poll`:
+
+* **Instruments are cheap and always live.**  A counter increment is one
+  small lock plus an integer add, so production code binds its instruments at
+  module import (``_HITS = counter("registry.hits")``) and increments them
+  unconditionally — there is no arming step for plain metrics, which is what
+  lets migrated legacy counters (cache hit/miss statistics, record-store
+  flush accounting) keep their exact previous semantics.
+* **One registry, one snapshot.**  Every instrument registers itself in a
+  :class:`MetricsRegistry` (the process-wide default unless a test builds its
+  own), so ``repro metrics`` / ``BENCH_metrics.json`` report the whole stack
+  from a single :func:`snapshot` call.  Subsystems that keep their own
+  counter objects for API-compatibility reasons (:mod:`repro.caching`)
+  publish them through a **collector** — a callback the registry invokes at
+  snapshot time — instead of double-counting into separate instruments.
+* **Histograms are fixed-bucket.**  :class:`Histogram` counts observations
+  into a fixed ladder of upper bounds (default: a latency ladder from 10 µs
+  to 60 s), tracks count/sum/min/max, and reports percentiles as the
+  smallest bucket upper bound covering the requested rank — exact whenever
+  observations land on bucket boundaries, and never below the true
+  percentile otherwise.  That makes p50/p95/p99 safe to gate on.
+
+Naming convention: dotted lowercase ``subsystem.metric`` names
+(``service.submit_to_finish_seconds``); duration histograms end in
+``_seconds``.  The Prometheus text exposition (:meth:`MetricsRegistry.
+render_prometheus`) maps dots to underscores and prefixes ``repro_``, so the
+same metric appears as ``repro_service_submit_to_finish_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "default_registry",
+    "gauge",
+    "histogram",
+    "register_collector",
+    "render_prometheus",
+    "reset_metrics",
+    "snapshot",
+    "write_snapshot",
+]
+
+#: Default histogram ladder for wall-clock durations: ~1-2.5-5 decades from
+#: 10 microseconds to one minute.  Wide enough for everything the stack times
+#: (sub-ms shard appends up to multi-second tuning rounds).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically counting metric (resettable for test isolation)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: Union[int, float]) -> None:
+        """Pin the counter (used by legacy-accessor shims and resets)."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self.set(0)
+
+    def snapshot(self) -> float:
+        value = self._value
+        return int(value) if float(value).is_integer() else value
+
+
+class Gauge:
+    """A metric that can go up and down (queue depths, in-flight jobs)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self.set(0)
+
+    def snapshot(self) -> float:
+        value = self._value
+        return int(value) if float(value).is_integer() else value
+
+
+class Histogram:
+    """Fixed-bucket histogram with conservative percentile reporting.
+
+    ``bounds`` are the inclusive upper bounds (Prometheus ``le``) of the
+    finite buckets, strictly increasing; one implicit overflow bucket catches
+    everything beyond the last bound.  :meth:`percentile` returns the
+    smallest bucket upper bound whose cumulative count covers the requested
+    rank (the observed maximum for the overflow bucket) — exact when
+    observations land on bucket boundaries, an upper bound otherwise, and
+    never an underestimate, which is the safe direction for latency gates.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} bounds must strictly increase")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise ValueError(f"histogram {name!r} bounds must be finite")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # final slot: overflow (+Inf)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)  # first bound >= value (le)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: Union[int, float]) -> float:
+        """The q-th percentile (0 < q <= 100) from the bucket counts.
+
+        Returns 0.0 for an empty histogram.  The result is the smallest
+        bucket upper bound covering ``ceil(q/100 * count)`` observations, so
+        it is exact when observations sit on bucket bounds and otherwise
+        rounds *up* to the containing bucket's bound.
+        """
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile wants 0 < q <= 100, got {q}")
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            maximum = self._max
+        if count == 0:
+            return 0.0
+        rank = max(1, -(-count * q // 100))  # ceil(count * q / 100)
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return maximum  # overflow bucket: best bound is the max seen
+        return maximum
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe summary: count/sum/min/max, p50/p95/p99, bucket counts."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            total = self._sum
+            minimum = self._min
+            maximum = self._max
+        buckets: List[Dict[str, object]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            buckets.append({"le": bound, "count": cumulative})
+        buckets.append({"le": "+Inf", "count": count})
+        return {
+            "count": count,
+            "sum": total,
+            "min": minimum if count else None,
+            "max": maximum if count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with one-call snapshots.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing instrument
+    when the name is already registered (so every module binding
+    ``counter("x")`` shares one instrument) and raise ``TypeError`` when the
+    name is registered under a different metric kind — silent kind drift
+    would corrupt dashboards.
+
+    Collectors extend the snapshot with values owned elsewhere: a collector
+    is a zero-argument callable returning ``{metric_name: number}``, invoked
+    at snapshot/exposition time.  :mod:`repro.caching` uses one to publish
+    its per-cache hit/miss counters without changing their storage.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, Metric]" = {}
+        self._collectors: Dict[str, Callable[[], Dict[str, float]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument access
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name: str, factory) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as a "
+                    f"{metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram,
+            name,
+            lambda: Histogram(name, buckets or DEFAULT_LATENCY_BUCKETS, help),
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_collector(
+        self, name: str, fn: Callable[[], Dict[str, float]]
+    ) -> None:
+        """(Re-)register a snapshot-time collector under a stable name."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def _collected(self) -> Dict[str, float]:
+        with self._lock:
+            collectors = sorted(self._collectors.items())
+        merged: Dict[str, float] = {}
+        for _name, fn in collectors:
+            merged.update(fn())
+        return merged
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of every instrument and collector."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for name, metric in metrics:
+            if isinstance(metric, Counter):
+                counters[name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.snapshot()
+            else:
+                histograms[name] = metric.snapshot()
+        return {
+            "schema": "repro-metrics/1",
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "collected": self._collected(),
+        }
+
+    def write_snapshot(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @staticmethod
+    def _prom_name(name: str, prefix: str) -> str:
+        return f"{prefix}_{re.sub(r'[^a-zA-Z0-9_]', '_', name)}"
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition of every instrument and collector.
+
+        Counters gain the conventional ``_total`` suffix; histograms emit
+        cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``;
+        collector values are exposed as untyped gauges.
+        """
+        lines: List[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            prom = self._prom_name(name, prefix)
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {prom}_total counter")
+                lines.append(f"{prom}_total {metric.snapshot()}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {metric.snapshot()}")
+            else:
+                summary = metric.snapshot()
+                lines.append(f"# TYPE {prom} histogram")
+                for bucket in summary["buckets"]:
+                    le = bucket["le"]
+                    le_text = le if isinstance(le, str) else repr(float(le))
+                    lines.append(f'{prom}_bucket{{le="{le_text}"}} {bucket["count"]}')
+                lines.append(f"{prom}_sum {summary['sum']}")
+                lines.append(f"{prom}_count {summary['count']}")
+        collected = self._collected()
+        for name in sorted(collected):
+            prom = self._prom_name(name, prefix)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {collected[name]}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations and collectors survive).
+
+        Collector-backed values are owned elsewhere and are *not* reset —
+        callers wanting a fully clean slate also reset the owning subsystem
+        (e.g. :func:`repro.caching.reset_cache_stats`).
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+# --------------------------------------------------------------------- #
+# the process-wide default registry
+# --------------------------------------------------------------------- #
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every production instrument lives in."""
+    return _DEFAULT
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return _DEFAULT.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return _DEFAULT.gauge(name, help)
+
+
+def histogram(
+    name: str, buckets: Optional[Sequence[float]] = None, help: str = ""
+) -> Histogram:
+    return _DEFAULT.histogram(name, buckets, help)
+
+
+def register_collector(name: str, fn: Callable[[], Dict[str, float]]) -> None:
+    _DEFAULT.register_collector(name, fn)
+
+
+def snapshot() -> Dict[str, object]:
+    return _DEFAULT.snapshot()
+
+
+def write_snapshot(path: Union[str, Path]) -> Path:
+    return _DEFAULT.write_snapshot(path)
+
+
+def render_prometheus(prefix: str = "repro") -> str:
+    return _DEFAULT.render_prometheus(prefix)
+
+
+def reset_metrics() -> None:
+    """Zero every instrument in the default registry (for test isolation)."""
+    _DEFAULT.reset()

@@ -32,10 +32,16 @@ from typing import IO, Iterator, List, Optional, Sequence, Union
 from repro.core.tuner import TuningResult
 from repro.faults.plan import poll as poll_fault
 from repro.jsonl import repair_torn_tail
+from repro.obs.metrics import counter, histogram
 from repro.serving.fingerprint import structural_fingerprint
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
 from repro.caching import cached_sketches
+
+_APPENDS = counter("records.appends", "Lines durably appended to record logs")
+_SLOW_FLUSHES = counter("records.slow_flushes", "Appends slower than the slow-flush threshold")
+_FLUSH_FAILURES = counter("records.flush_failures", "Appends rolled back after an OSError")
+_FLUSH_SECONDS = histogram("records.flush_seconds", help="Record-log append+flush time")
 
 __all__ = [
     "MeasureRecord",
@@ -404,10 +410,15 @@ class RecordStore:
             self._fh.flush()
         except OSError:
             self.flush_failures += 1
+            _FLUSH_FAILURES.inc()
             self._rollback_to(committed)
             raise
-        if time.perf_counter() - began > self.slow_flush_threshold:
+        elapsed = time.perf_counter() - began
+        _APPENDS.inc()
+        _FLUSH_SECONDS.observe(elapsed)
+        if elapsed > self.slow_flush_threshold:
             self.slow_flushes += 1
+            _SLOW_FLUSHES.inc()
 
     def _rollback_to(self, offset: int) -> None:
         """Best-effort truncation of a partial append back to ``offset``."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -52,6 +53,8 @@ from repro.faults.plan import poll as poll_fault
 from repro.hardware.catalog import default_catalog, target_distance
 from repro.jsonl import repair_torn_tail
 from repro.hardware.target import HardwareTarget
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span as obs_span
 from repro.serving.fingerprint import (
     embedding_distance,
     structural_fingerprint,
@@ -63,6 +66,17 @@ from repro.tensor.schedule import Schedule
 from repro.caching import cached_sketches
 
 __all__ = ["RegistryEntry", "ScheduleRegistry", "TransferCandidate"]
+
+_LOOKUPS = counter("registry.lookups", "Exact (fingerprint, target) lookups")
+_HITS = counter("registry.hits", "Exact lookups answered from the best map")
+_MISSES = counter("registry.misses", "Exact lookups with no stored entry")
+_TRANSFER_LOOKUPS = counter("registry.transfer_lookups", "Warm-start transfer searches")
+_TRANSFER_CANDIDATES = counter(
+    "registry.transfer_candidates", "Warm-start candidates produced"
+)
+_SHARD_LOAD = histogram("registry.shard_load_seconds", help="Per-shard JSONL load time")
+_APPEND = histogram("registry.append_seconds", help="Single-entry shard append time")
+_COMPACT = histogram("registry.compact_seconds", help="Full registry compaction time")
 
 
 @dataclass(frozen=True)
@@ -244,6 +258,7 @@ class ScheduleRegistry:
         return removed
 
     def _load_lines(self, path: Path) -> None:
+        began = time.perf_counter()
         # A process killed mid-append leaves a torn final line; truncate it
         # (even under strict — it is an expected crash artifact, not data
         # corruption) so re-opened shards never append onto a partial line.
@@ -262,6 +277,7 @@ class ScheduleRegistry:
                         f"corrupted registry entry at {path}:{lineno}: {exc}"
                     ) from exc
                 self.skipped_lines += 1
+        _SHARD_LOAD.observe(time.perf_counter() - began)
 
     def _absorb(self, entry: RegistryEntry) -> bool:
         """Fold an entry into the in-memory best map (no disk write)."""
@@ -274,6 +290,7 @@ class ScheduleRegistry:
     def _append(self, entry: RegistryEntry) -> None:
         if self.root is None:
             return
+        began = time.perf_counter()
         shard = self._shard_of(entry.fingerprint)
         fh = self._handles.get(shard)
         if fh is None:
@@ -292,6 +309,7 @@ class ScheduleRegistry:
         fh.write(line)
         fh.flush()
         self.total_lines += 1
+        _APPEND.observe(time.perf_counter() - began)
 
     # ------------------------------------------------------------------ #
     # recording
@@ -346,7 +364,10 @@ class ScheduleRegistry:
     def get(self, fingerprint: str, target) -> Optional[RegistryEntry]:
         """O(1) exact lookup by (fingerprint, target)."""
         target_name = target if isinstance(target, str) else target.name
-        return self._best.get((fingerprint, target_name))
+        entry = self._best.get((fingerprint, target_name))
+        _LOOKUPS.inc()
+        (_HITS if entry is not None else _MISSES).inc()
+        return entry
 
     def lookup(self, dag: ComputeDAG, target) -> Optional[RegistryEntry]:
         """O(1) exact structural lookup for a DAG."""
@@ -479,6 +500,7 @@ class ScheduleRegistry:
         """
         from repro.records import schedule_from_dict  # records imports us
 
+        _TRANSFER_LOOKUPS.inc()
         out: List[TransferCandidate] = []
         seen: set = set()
 
@@ -529,7 +551,9 @@ class ScheduleRegistry:
                     if level < len(ensemble) and len(out) < max_candidates:
                         push(ensemble[level], entry, t_dist, True)
                 level += 1
-        return out[:max_candidates]
+        out = out[:max_candidates]
+        _TRANSFER_CANDIDATES.inc(len(out))
+        return out
 
     def warm_start_schedules(
         self,
@@ -776,6 +800,14 @@ class ScheduleRegistry:
         """
         if self.root is None:
             return 0
+        began = time.perf_counter()
+        with obs_span("registry.compact", entries=len(self._best)) as compact_span:
+            removed = self._compact_inner()
+            compact_span.annotate(removed=removed)
+        _COMPACT.observe(time.perf_counter() - began)
+        return removed
+
+    def _compact_inner(self) -> int:
         self.close()
         by_shard: Dict[int, List[RegistryEntry]] = {}
         for entry in self.entries():

@@ -26,7 +26,8 @@ seed regardless of how many clients submitted.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,11 +39,24 @@ from repro.core.subgraph_reward import SubgraphState, normalized_rewards
 from repro.core.tuner import TuningResult
 from repro.faults.plan import InjectedCrash, poll as poll_fault
 from repro.hardware.target import HardwareTarget, cpu_target
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span as obs_span, trace_event
 from repro.serving.fingerprint import structural_fingerprint
 from repro.serving.registry import ScheduleRegistry
 from repro.tensor.dag import ComputeDAG
 
 __all__ = ["TuningRequest", "JobHandle", "TuningService"]
+
+_REQUESTS = counter("service.requests", "Requests submitted to the TuningService")
+_REGISTRY_HITS = counter("service.registry_hits", "Requests answered O(1) from the registry")
+_COALESCED = counter("service.coalesced", "Requests coalesced onto an in-flight job")
+_JOBS_CREATED = counter("service.jobs_created", "Fresh tuning jobs created")
+_JOBS_FINISHED = counter("service.jobs_finished", "Jobs flushed to the registry")
+_JOBS_ABORTED = counter("service.jobs_aborted", "Jobs torn down after a scheduler error")
+_RECOVERED = counter("service.recovered_entries", "Registry entries restored from record logs")
+_SUBMIT_TO_FINISH = histogram(
+    "service.submit_to_finish_seconds", help="Latency from submit() to handle resolution"
+)
 
 
 @dataclass(frozen=True)
@@ -80,10 +94,13 @@ class JobHandle:
     source: str
     done: bool = False
     result: Optional[TuningResult] = None
+    submitted_at: float = field(default=0.0, repr=False, compare=False)
 
     def _finish(self, result: TuningResult) -> None:
         self.result = result
         self.done = True
+        if self.submitted_at:
+            _SUBMIT_TO_FINISH.observe(time.perf_counter() - self.submitted_at)
 
 
 class _Job:
@@ -285,6 +302,8 @@ class TuningService:
         Thread-safe: concurrent submissions of structurally identical
         workloads coalesce onto one job no matter how they interleave.
         """
+        submitted_at = time.perf_counter()
+        _REQUESTS.inc()
         fingerprint = structural_fingerprint(request.dag)
         if not request.force_tune:
             # Registry hits never create or join jobs, so the whole fast path
@@ -294,7 +313,10 @@ class TuningService:
             if entry is not None:
                 with self._lock:
                     self.registry_hits += 1
-                handle = JobHandle(request, fingerprint, SOURCE_REGISTRY)
+                _REGISTRY_HITS.inc()
+                handle = JobHandle(
+                    request, fingerprint, SOURCE_REGISTRY, submitted_at=submitted_at
+                )
                 handle._finish(self._registry_answer(request, fingerprint, entry))
                 return handle
         with self._lock:
@@ -302,15 +324,21 @@ class TuningService:
             job = self._jobs.get(key)
             if job is not None:
                 self.coalesced_requests += 1
-                handle = JobHandle(request, fingerprint, SOURCE_COALESCED)
+                _COALESCED.inc()
+                handle = JobHandle(
+                    request, fingerprint, SOURCE_COALESCED, submitted_at=submitted_at
+                )
                 job.attach(handle, request)
                 return handle
             scheduler = self._build_scheduler(
                 request.scheduler, self.seed + 7919 * self.jobs_created
             )
             self.jobs_created += 1
+            _JOBS_CREATED.inc()
             job = _Job(key, request, scheduler)
-            handle = JobHandle(request, fingerprint, SOURCE_SCHEDULED)
+            handle = JobHandle(
+                request, fingerprint, SOURCE_SCHEDULED, submitted_at=submitted_at
+            )
             job.attach(handle, request)
             self._jobs[key] = job
             self._order.append(key)
@@ -369,20 +397,24 @@ class TuningService:
         (including the abort path) may run after it; recovery happens in a
         fresh service via :meth:`recover_from_records`.
         """
-        try:
-            spent = job.scheduler.tune_round(job.dag, max_measures=budget)
-        except InjectedCrash:
-            raise
-        except Exception as exc:
-            self._abort_job(job, exc)
-            raise
-        job.trials_used += spent
-        job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
-        fired = poll_fault("service.advance", detail=job.key[0][:12])
-        if fired is not None:
-            fired.crash(f"crash between advance and finish of job {job.key[0][:12]}")
-        if job.trials_used >= job.n_trials or spent == 0:
-            self._finish_job(job)
+        with obs_span(
+            "service.round", job=job.key[0][:12], workload=job.dag.name, budget=budget
+        ) as round_span:
+            try:
+                spent = job.scheduler.tune_round(job.dag, max_measures=budget)
+            except InjectedCrash:
+                raise
+            except Exception as exc:
+                self._abort_job(job, exc)
+                raise
+            job.trials_used += spent
+            job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+            round_span.annotate(trials=spent)
+            fired = poll_fault("service.advance", detail=job.key[0][:12])
+            if fired is not None:
+                fired.crash(f"crash between advance and finish of job {job.key[0][:12]}")
+            if job.trials_used >= job.n_trials or spent == 0:
+                self._finish_job(job)
         return spent
 
     def _abort_job(self, job: _Job, exc: BaseException) -> None:
@@ -421,6 +453,10 @@ class TuningService:
             self._jobs.pop(job.key, None)
             self._order = [key for key in self._order if key != job.key]
             self.aborted_jobs += 1
+        _JOBS_ABORTED.inc()
+        trace_event(
+            "service.aborted", job=job.key[0][:12], error=f"{type(exc).__name__}: {exc}"
+        )
         for handle in job.handles:
             handle._finish(result)
 
@@ -440,35 +476,44 @@ class TuningService:
         store = store if store is not None else self.record_store
         if store is None:
             return 0
-        best: Dict[str, Tuple[float, object]] = {}
-        counts: Dict[str, int] = {}
-        for rec in store.measures():
-            fingerprint = getattr(rec, "fingerprint", "") or ""
-            if not fingerprint:
-                continue
-            counts[fingerprint] = counts.get(fingerprint, 0) + 1
-            held = best.get(fingerprint)
-            if held is None or rec.latency < held[0]:
-                best[fingerprint] = (rec.latency, rec)
-        accepted = 0
-        for fingerprint, (latency, rec) in best.items():
-            entry = RegistryEntry(
-                fingerprint=fingerprint,
-                target=self.target.name,
-                workload=rec.workload,
-                latency=float(latency),
-                throughput=float(rec.throughput),
-                trials=counts[fingerprint],
-                scheduler=rec.scheduler or "recovered",
-                schedule=rec.schedule,
-                embedding=(),
-                source=source,
-            )
-            if self.registry.record(entry):
-                accepted += 1
+        with obs_span("service.recover", source=source) as recover_span:
+            best: Dict[str, Tuple[float, object]] = {}
+            counts: Dict[str, int] = {}
+            for rec in store.measures():
+                fingerprint = getattr(rec, "fingerprint", "") or ""
+                if not fingerprint:
+                    continue
+                counts[fingerprint] = counts.get(fingerprint, 0) + 1
+                held = best.get(fingerprint)
+                if held is None or rec.latency < held[0]:
+                    best[fingerprint] = (rec.latency, rec)
+            accepted = 0
+            for fingerprint, (latency, rec) in best.items():
+                entry = RegistryEntry(
+                    fingerprint=fingerprint,
+                    target=self.target.name,
+                    workload=rec.workload,
+                    latency=float(latency),
+                    throughput=float(rec.throughput),
+                    trials=counts[fingerprint],
+                    scheduler=rec.scheduler or "recovered",
+                    schedule=rec.schedule,
+                    embedding=(),
+                    source=source,
+                )
+                if self.registry.record(entry):
+                    accepted += 1
+            recover_span.annotate(workloads=len(best), accepted=accepted)
+        _RECOVERED.inc(accepted)
+        trace_event("service.recovered", accepted=accepted, workloads=len(best))
         return accepted
 
     def _finish_job(self, job: _Job) -> None:
+        with obs_span("service.finish", job=job.key[0][:12], workload=job.dag.name):
+            self._finish_job_inner(job)
+        _JOBS_FINISHED.inc()
+
+    def _finish_job_inner(self, job: _Job) -> None:
         result = job.scheduler.finalize(job.dag)
         result.extras["fingerprint"] = job.key[0]
         result.extras["tenants"] = list(job.tenants)

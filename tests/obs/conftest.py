@@ -1,0 +1,16 @@
+"""Fixtures for the observability tests.
+
+The production instruments live in the process-wide default registry, so
+every test in this package starts from zeroed instruments — assertions can
+then read absolute values instead of deltas.
+"""
+
+import pytest
+
+from repro.obs import reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def _zeroed_metrics():
+    reset_metrics()
+    yield

@@ -1,0 +1,218 @@
+"""Metrics primitives: counters, gauges, histograms, registry, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# --------------------------------------------------------------------- #
+# counters and gauges
+# --------------------------------------------------------------------- #
+def test_counter_increments_and_resets():
+    c = Counter("c")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    c.reset()
+    assert c.value == 0
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("c")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+
+
+def test_concurrent_counter_increments_are_exact():
+    c = Counter("hot")
+    threads = [
+        threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+
+
+# --------------------------------------------------------------------- #
+# histograms
+# --------------------------------------------------------------------- #
+def test_histogram_bucket_assignment_uses_le_semantics():
+    h = Histogram("h", buckets=[1, 2, 5])
+    for v in (0.5, 1.0, 1.5, 2.0, 5.0, 99.0):
+        h.observe(v)
+    snap = h.snapshot()
+    cumulative = {b["le"]: b["count"] for b in snap["buckets"]}
+    assert cumulative[1.0] == 2  # 0.5 and the boundary value 1.0
+    assert cumulative[2.0] == 4
+    assert cumulative[5.0] == 5
+    assert cumulative["+Inf"] == 6
+
+
+def test_histogram_percentiles_exact_on_bucket_boundaries():
+    # 1..100 observed once each, with a bucket bound at every integer:
+    # the p-th percentile is exactly p.
+    h = Histogram("h", buckets=list(range(1, 101)))
+    for v in range(1, 101):
+        h.observe(v)
+    assert h.percentile(50) == 50
+    assert h.percentile(95) == 95
+    assert h.percentile(99) == 99
+    assert h.percentile(100) == 100
+
+
+def test_histogram_percentiles_all_equal_values():
+    h = Histogram("h", buckets=[0.5, 1.0, 2.0])
+    for _ in range(10):
+        h.observe(1.0)
+    for q in (50, 95, 99):
+        assert h.percentile(q) == 1.0
+
+
+def test_histogram_percentile_empty_and_bad_q():
+    h = Histogram("h", buckets=[1.0])
+    assert h.percentile(50) == 0.0
+    with pytest.raises(ValueError):
+        h.percentile(0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_overflow_bucket_reports_observed_max():
+    h = Histogram("h", buckets=[1.0])
+    h.observe(7.5)
+    h.observe(3.0)
+    assert h.percentile(99) == 7.5
+    snap = h.snapshot()
+    assert snap["max"] == 7.5
+    assert snap["min"] == 3.0
+
+
+def test_histogram_mean_sum_count():
+    h = Histogram("h", buckets=[10.0])
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == pytest.approx(6.0)
+    assert h.mean == pytest.approx(2.0)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[])
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[1.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=[1.0, float("inf")])
+
+
+def test_concurrent_histogram_aggregation_is_exact():
+    h = Histogram("h", buckets=[1, 2, 3, 4, 5, 6, 7, 8])
+
+    def work(value):
+        for _ in range(500):
+            h.observe(value)
+
+    threads = [threading.Thread(target=work, args=(i + 1,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.count == 4000
+    assert h.sum == pytest.approx(sum(500 * (i + 1) for i in range(8)))
+    # 4000 observations over values 1..8, 500 each: p50 covers rank 2000,
+    # reached exactly at bound 4.
+    assert h.percentile(50) == 4
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+def test_registry_get_or_create_shares_instruments():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert len(reg) == 2
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_registry_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("jobs").inc(3)
+    reg.gauge("depth").set(2)
+    reg.histogram("lat", buckets=[1.0]).observe(0.5)
+    snap = reg.snapshot()
+    assert snap["schema"] == "repro-metrics/1"
+    assert snap["counters"]["jobs"] == 3
+    assert snap["gauges"]["depth"] == 2
+    assert snap["histograms"]["lat"]["count"] == 1
+    json.dumps(snap)  # JSON-safe
+
+
+def test_registry_collector_merges_into_snapshot_and_exposition():
+    reg = MetricsRegistry()
+    reg.register_collector("caches", lambda: {"cache.demo.hits": 7})
+    snap = reg.snapshot()
+    assert snap["collected"]["cache.demo.hits"] == 7
+    text = reg.render_prometheus()
+    assert "repro_cache_demo_hits 7" in text
+
+
+def test_registry_reset_zeroes_instruments():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(5)
+    reg.histogram("h", buckets=[1.0]).observe(0.5)
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"]["a"] == 0
+    assert snap["histograms"]["h"]["count"] == 0
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("service.requests", help="Requests").inc(2)
+    reg.gauge("queue.depth").set(3)
+    reg.histogram("lat.seconds", buckets=[0.1, 1.0]).observe(0.05)
+    text = reg.render_prometheus()
+    assert "# HELP repro_service_requests Requests" in text
+    assert "# TYPE repro_service_requests_total counter" in text
+    assert "repro_service_requests_total 2" in text
+    assert "repro_queue_depth 3" in text
+    assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_lat_seconds_count 1" in text
+
+
+def test_write_snapshot_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    path = reg.write_snapshot(tmp_path / "snap.json")
+    data = json.loads(path.read_text())
+    assert data["counters"]["a"] == 1
