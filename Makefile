@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage bench bench-smoke bench-full serve-demo network-smoke network-demo \
-	perf perf-gate lint gate
+.PHONY: test coverage bench bench-smoke bench-full serve-demo serve-load \
+	network-smoke network-demo perf perf-gate lint gate
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -48,6 +48,14 @@ perf:
 ## stage vs the checked-in benchmarks/perf/baseline.json.
 perf-gate: perf
 	$(PYTHON) benchmarks/perf/compare.py BENCH_perf.json benchmarks/perf/baseline.json
+
+## Closed-loop load benchmark against the asyncio network front end: boots a
+## server, replays Zipf/burst multi-tenant traffic at it, writes the
+## BENCH_load.json artifact (p50/p95/p99 latency, registry hit rate, shed
+## rate) and enforces the machine-independent serving invariants (every
+## request answered, shed answers registry-only, hit-rate floor).
+serve-load:
+	$(PYTHON) benchmarks/perf/loadgen.py --output BENCH_load.json --check
 
 ## Release gate: run every fault-injection recovery obligation (registry,
 ## record store, compaction, measurer pool, tuning service) over 3 seeds and

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Closed-loop load-generation benchmark (``make serve-load``).
+
+Boots a :class:`~repro.serving.server.ServingServer` over a fresh
+:class:`~repro.serving.service.TuningService` (tiny HARL config, in-memory
+registry), replays Zipf-popularity multi-tenant traffic against it with
+:func:`repro.serving.loadgen.run_load`, and writes the ``repro-loadgen/1``
+report — client-observed p50/p95/p99 response latency, outcome census,
+registry hit rate and shed rate — to ``BENCH_load.json`` (uploaded as a CI
+artifact).
+
+``--check`` enforces the machine-independent serving invariants instead of
+absolute latencies (which would flake across runners):
+
+* every request is answered — no silent drops, no unbounded hangs
+  (``unanswered == 0`` and ``answered == requests``),
+* a saturated server degrades instead of tuning: every degraded answer
+  consumed zero fresh trials,
+* the Zipf head makes the registry pay off: the hit rate over answered
+  requests clears a conservative floor,
+* the percentile fields the dashboards consume are present and ordered
+  (p50 <= p95 <= p99).
+
+Usage::
+
+    python benchmarks/perf/loadgen.py --output BENCH_load.json --check
+    python benchmarks/perf/loadgen.py --clients 8 --requests 50 --saturate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import HARLConfig
+from repro.serving.loadgen import (
+    DEFAULT_UNIVERSE,
+    HIT_RATE_FLOOR,
+    LoadGenConfig,
+    check_report,
+    run_load,
+)
+from repro.serving.netclient import TuningClient
+from repro.serving.registry import ScheduleRegistry
+from repro.serving.server import ServerConfig, ServingServer
+from repro.serving.service import TuningService
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_load.json", metavar="FILE")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client (closed loop)")
+    parser.add_argument("--trials", type=int, default=4,
+                        help="measurement trials per cold tune request")
+    parser.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                        help="Zipf popularity skew over the workload universe")
+    parser.add_argument("--burst", type=int, default=4,
+                        help="back-to-back requests per burst")
+    parser.add_argument("--pause", type=float, default=0.02,
+                        help="seconds between bursts")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server worker threads")
+    parser.add_argument("--max-inflight", type=int, default=2,
+                        help="server admission slots")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="HARLConfig.scaled factor for the backing service")
+    parser.add_argument("--saturate", action="store_true",
+                        help="shrink admission to 1 slot so shedding is "
+                             "exercised even on fast machines")
+    parser.add_argument("--warmup", type=int, default=3, metavar="N",
+                        help="prime the N most popular workloads before the "
+                             "measured run (steady-state serving; makes the "
+                             "hit-rate floor machine-independent). 0 = cold")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the serving invariants (exit 1 on failure)")
+    return parser.parse_args(argv)
+
+
+def check(report: dict) -> List[str]:
+    """Machine-independent invariant failures (empty = pass)."""
+    return check_report(report, hit_rate_floor=HIT_RATE_FLOOR)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    service = TuningService(
+        registry=ScheduleRegistry(),
+        config=HARLConfig.scaled(args.scale),
+        seed=args.seed,
+    )
+    server_config = ServerConfig(
+        workers=args.workers,
+        max_inflight=1 if args.saturate else args.max_inflight,
+    )
+    load_config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        trials=args.trials,
+        zipf_s=args.zipf,
+        burst=args.burst,
+        pause=args.pause,
+        seed=args.seed,
+    )
+    with ServingServer(service, server_config) as server:
+        if args.warmup > 0:
+            # Steady-state serving: tune the Zipf head once so the measured
+            # run exercises the registry fast path under load rather than
+            # racing cold tuning against traffic (machine-speed dependent).
+            with TuningClient(server.host, server.port) as warm:
+                for op, batch in DEFAULT_UNIVERSE[: args.warmup]:
+                    warm.tune(op, batch=batch, trials=args.trials)
+        report = run_load(server.host, server.port, load_config)
+    report["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "server": {
+            "workers": server_config.workers,
+            "max_inflight": server_config.max_inflight,
+        },
+    }
+
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    lat = report["latency_ms"]
+    print(f"loadgen: {report['answered']}/{report['requests']} answered in "
+          f"{report['wall_seconds']:.2f}s ({report['throughput_rps']:.1f} req/s)")
+    print(f"  latency p50={lat['p50']:.2f}ms p95={lat['p95']:.2f}ms "
+          f"p99={lat['p99']:.2f}ms max={lat['max']:.2f}ms")
+    print(f"  hit rate {report['hit_rate']:.2f}, shed rate "
+          f"{report['shed_rate']:.2f}, outcomes {report['outcomes']}")
+    print(f"report written to {out}")
+
+    if args.check:
+        failures = check(report)
+        if failures:
+            print("\nserve-load invariant failures:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("serve-load invariants: all green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven sub-commands cover the common workflows:
+Twelve sub-commands cover the common workflows:
 
 * ``tune-op``      — tune one Table 6 operator class with a chosen scheduler.
 * ``tune-network`` — tune BERT / ResNet-50 / MobileNet-V2 end to end with one
@@ -13,7 +13,14 @@ Eleven sub-commands cover the common workflows:
 * ``compare``      — head-to-head HARL vs. Ansor on one operator, printing the
   paper's normalized performance / search-time metrics.
 * ``serve``        — run a batch of (possibly duplicate) tuning requests
-  through the multi-tenant tuning service with registry reuse.
+  through the multi-tenant tuning service with registry reuse; with
+  ``--listen HOST:PORT`` it instead runs the long-lived asyncio network
+  front end (newline-delimited JSON-RPC with admission control, rate
+  limits, quotas and degraded load shedding).
+* ``bench-load``   — boot an embedded network server and replay closed-loop
+  Zipf/burst multi-tenant traffic at it, reporting p50/p99 latency,
+  registry hit rate and shed rate (``--check`` enforces the serving
+  invariants).
 * ``query``        — look a workload up in the schedule registry (exact hit
   plus nearest structural relatives).
 * ``registry``     — maintain the registry: ``stats``, ``export``,
@@ -139,6 +146,29 @@ def _make_scheduler(name: str, target, config: HARLConfig, seed: int,
     raise KeyError(name)
 
 
+def _admission_flags(parser: argparse.ArgumentParser) -> None:
+    """Admission-control knobs of the network front end (ServerConfig)."""
+    grp = parser.add_argument_group("admission control")
+    grp.add_argument("--max-inflight", type=int, default=4, metavar="N",
+                     help="tuning requests holding admission slots at once; "
+                          "beyond this the server sheds load (registry-only "
+                          "degraded answers)")
+    grp.add_argument("--server-workers", type=int, default=2, metavar="N",
+                     help="worker threads driving admitted tuning jobs")
+    grp.add_argument("--request-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="deadline per tune request; expiry answers the "
+                          "explicit 'timeout' error code")
+    grp.add_argument("--rate", type=float, default=0.0, metavar="R",
+                     help="per-tenant token-bucket rate, requests/s "
+                          "(0 = unlimited)")
+    grp.add_argument("--burst", type=int, default=8, metavar="N",
+                     help="per-tenant token-bucket capacity")
+    grp.add_argument("--quota", type=int, default=0, metavar="TRIALS",
+                     help="per-tenant total measurement-trial quota "
+                          "(0 = unlimited)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,6 +260,46 @@ def build_parser() -> argparse.ArgumentParser:
                           '[{"op": ..., "batch": ..., "trials": ..., '
                           '"tenant": ...}, ...]; omit for a built-in demo '
                           "batch with duplicate + novel workloads")
+    srv.add_argument("--listen", metavar="HOST:PORT", default=None,
+                     help="run the long-lived asyncio network front end on "
+                          "HOST:PORT (port 0 = ephemeral) instead of a batch; "
+                          "serves newline-delimited JSON-RPC until "
+                          "interrupted (see repro.serving.server)")
+    srv.add_argument("--duration", type=float, default=0.0, metavar="SECONDS",
+                     help="with --listen: serve this long then exit "
+                          "(0 = until Ctrl-C)")
+    _admission_flags(srv)
+
+    bld = sub.add_parser(
+        "bench-load",
+        help="closed-loop Zipf/burst load benchmark against an embedded "
+             "network server",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(bld)
+    bld.set_defaults(trials=4, scale=0.05)
+    bld.add_argument("--clients", type=int, default=4)
+    bld.add_argument("--per-client", type=int, default=25, metavar="N",
+                     help="requests per client (closed loop)")
+    bld.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                     help="Zipf popularity skew over the workload universe")
+    bld.add_argument("--burst-size", type=int, default=4, metavar="N",
+                     help="back-to-back requests per burst")
+    bld.add_argument("--pause", type=float, default=0.02,
+                     help="seconds between bursts")
+    bld.add_argument("--saturate", action="store_true",
+                     help="shrink admission to 1 slot so shedding is "
+                          "exercised even on fast machines")
+    bld.add_argument("--warmup", type=int, default=3, metavar="N",
+                     help="prime the N most popular workloads before the "
+                          "measured run (0 = cold start)")
+    bld.add_argument("--output", metavar="FILE", default=None,
+                     help="write the repro-loadgen/1 report as JSON")
+    bld.add_argument("--check", action="store_true",
+                     help="enforce the machine-independent serving "
+                          "invariants (exit 1 on failure)")
+    _admission_flags(bld)
 
     qry = sub.add_parser("query", help="look a workload up in the registry",
                          epilog=_EPILOG,
@@ -556,6 +626,58 @@ def _load_requests(path: str, default_trials: int, scheduler: str):
     return requests
 
 
+def _server_config(args, host: str = "127.0.0.1", port: int = 0):
+    from repro.serving.server import ServerConfig
+
+    return ServerConfig(
+        host=host,
+        port=port,
+        max_inflight=args.max_inflight,
+        workers=args.server_workers,
+        request_timeout=args.request_timeout,
+        rate=args.rate,
+        burst=args.burst,
+        quota=args.quota,
+    )
+
+
+def _parse_listen(listen: str):
+    host, _, port = listen.rpartition(":")
+    if not host or not port:
+        raise SystemExit(f"--listen expects HOST:PORT, got {listen!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+
+
+def _cmd_serve_listen(args, service, registry) -> int:
+    """The --listen mode of `serve`: a long-lived network front end."""
+    import time as _time
+
+    from repro.serving.server import ServingServer
+
+    host, port = _parse_listen(args.listen)
+    with ServingServer(service, _server_config(args, host=host, port=port)) as srv:
+        print(f"serving newline-delimited JSON-RPC on {srv.host}:{srv.port} "
+              f"(target {service.target.name}, {len(registry)} registry "
+              f"entries); Ctrl-C to stop", flush=True)
+        try:
+            if args.duration > 0:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\ninterrupted, shutting down")
+        stats = srv.stats()
+    print(f"served {stats['requests']} requests: {stats['accepted']} tuned, "
+          f"{stats['fast_hits']} registry fast hits, {stats['shed']} shed, "
+          f"{stats['timeouts']} timeouts; registry now holds "
+          f"{len(registry)} entries")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     target = _resolve_target(args.target)
     config = HARLConfig.scaled(args.scale)
@@ -567,6 +689,13 @@ def _cmd_serve(args) -> int:
         registry=registry, target=target, config=config, seed=args.seed,
         record_store=record_store, num_workers=args.num_workers,
     )
+    if args.listen:
+        try:
+            return _cmd_serve_listen(args, service, registry)
+        finally:
+            if record_store is not None:
+                record_store.close()
+            registry.close()
     if args.requests:
         requests = _load_requests(args.requests, args.trials, args.scheduler)
     else:
@@ -588,6 +717,79 @@ def _cmd_serve(args) -> int:
     if record_store is not None:
         record_store.close()
     registry.close()
+    return 0
+
+
+def _cmd_bench_load(args) -> int:
+    """Boot an embedded network server and replay Zipf/burst traffic at it."""
+    from repro.serving.loadgen import (
+        DEFAULT_UNIVERSE,
+        LoadGenConfig,
+        check_report,
+        run_load,
+    )
+    from repro.serving.netclient import TuningClient
+    from repro.serving.server import ServerConfig, ServingServer
+
+    target = _resolve_target(args.target)
+    registry = _open_registry(args)
+    if registry is None:
+        registry = ScheduleRegistry()
+    service = TuningService(
+        registry=registry, target=target,
+        config=HARLConfig.scaled(args.scale), seed=args.seed,
+        num_workers=args.num_workers,
+    )
+    server_config = ServerConfig(
+        max_inflight=1 if args.saturate else args.max_inflight,
+        workers=args.server_workers,
+        request_timeout=args.request_timeout,
+        rate=args.rate,
+        burst=args.burst,
+        quota=args.quota,
+    )
+    load_config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.per_client,
+        trials=args.trials,
+        zipf_s=args.zipf,
+        burst=args.burst_size,
+        pause=args.pause,
+        seed=args.seed,
+    )
+    with ServingServer(service, server_config) as server:
+        if args.warmup > 0:
+            # Steady state: tune the Zipf head once so the measured run
+            # exercises the registry fast path under load rather than racing
+            # cold tuning against traffic (machine-speed dependent).
+            with TuningClient(server.host, server.port) as warm:
+                for op, batch in DEFAULT_UNIVERSE[: args.warmup]:
+                    warm.tune(op, batch=batch, trials=args.trials)
+        report = run_load(server.host, server.port, load_config)
+    registry.close()
+
+    lat = report["latency_ms"]
+    print(f"bench-load: {report['answered']}/{report['requests']} answered in "
+          f"{report['wall_seconds']:.2f}s ({report['throughput_rps']:.1f} req/s)")
+    print(f"  latency p50={lat['p50']:.2f}ms p95={lat['p95']:.2f}ms "
+          f"p99={lat['p99']:.2f}ms max={lat['max']:.2f}ms")
+    print(f"  hit rate {report['hit_rate']:.2f}, shed rate "
+          f"{report['shed_rate']:.2f}, outcomes {report['outcomes']}")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.output}")
+    if args.check:
+        failures = check_report(report)
+        if failures:
+            print("\nserving invariant failures:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("serving invariants: all green")
     return 0
 
 
@@ -875,6 +1077,7 @@ _COMMANDS = {
     "network": _cmd_network,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
+    "bench-load": _cmd_bench_load,
     "query": _cmd_query,
     "registry": _cmd_registry,
     "targets": _cmd_targets,

@@ -112,6 +112,27 @@ OBLIGATIONS = (
         "resubmission.",
         _scenario("service_waiters_released"),
     ),
+    Obligation(
+        "timeout.enforced",
+        "A request whose backend wedges is answered with the explicit "
+        "'timeout' error code within the configured deadline — the server "
+        "never hangs the client and stays responsive afterwards.",
+        _scenario("server_timeout_enforced"),
+    ),
+    Obligation(
+        "retry.bounded",
+        "The wire client's transport retry is bounded: a permanently dead "
+        "backend surfaces after exactly 1+max_retries attempts, while a "
+        "backend that recovers within the budget is ridden out.",
+        _scenario("server_retry_bounded"),
+    ),
+    Obligation(
+        "shed.answers_from_registry",
+        "A saturated server sheds load by answering registry-only with an "
+        "explicit degraded flag and zero fresh trials; a registry miss gets "
+        "the explicit 'overloaded' error — never a hang or a silent drop.",
+        _scenario("server_shed_from_registry"),
+    ),
 )
 
 

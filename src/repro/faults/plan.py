@@ -61,6 +61,8 @@ FAULT_POINTS = {
     "records.flush": "ENOSPC or a slow-disk stall on a record-log flush",
     "parallel.worker": "death of one pool worker mid-batch (details: chunk-N / retry-K:chunk-N)",
     "service.advance": "process crash between a round commit and the job finish",
+    "server.accept": "stall or drop of an admitted request before tuning starts",
+    "server.shed": "failure while shedding load (answering registry-only)",
 }
 
 #: What a firing spec does at its point.

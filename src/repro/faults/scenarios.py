@@ -546,6 +546,176 @@ def service_waiters_released(ctx: ScenarioContext) -> None:
     ctx.require(service.jobs_created == 2, "resubmission reused the aborted job")
 
 
+# --------------------------------------------------------------------- #
+# network-server obligations
+# --------------------------------------------------------------------- #
+def _tiny_service(ctx: ScenarioContext):
+    from repro.serving.registry import ScheduleRegistry
+    from repro.serving.service import TuningService
+
+    return TuningService(
+        registry=ScheduleRegistry(), config=_tiny_config(), seed=ctx.seed
+    )
+
+
+def server_timeout_enforced(ctx: ScenarioContext) -> None:
+    """A wedged backend gets an explicit ``timeout`` answer, not a hang."""
+    import time
+
+    from repro.serving.netclient import TuningClient
+    from repro.serving.server import ServerConfig, ServingServer
+
+    config = ServerConfig(workers=1, max_inflight=2, request_timeout=0.25)
+    plan = FaultPlan.single("server.accept", "slow_disk", seed=ctx.seed, delay=1.5)
+    with ServingServer(_tiny_service(ctx), config) as server:
+        with inject(plan):
+            with TuningClient(server.host, server.port, timeout=10.0,
+                              max_retries=0) as client:
+                began = time.perf_counter()
+                reply = client.tune("GEMM-S", trials=4)
+                elapsed = time.perf_counter() - began
+                ctx.require(
+                    not reply.ok and reply.error_code == "timeout",
+                    f"wedged backend did not answer 'timeout': {reply}",
+                )
+                ctx.require(
+                    elapsed < 1.2,
+                    f"timeout answered only after the {1.5}s stall cleared "
+                    f"({elapsed:.2f}s) — the deadline is not enforced",
+                )
+                ctx.require(
+                    client.ping(),
+                    "server unresponsive after answering a timeout",
+                )
+            ctx.require(plan.fired, "the planned backend stall never fired")
+            ctx.require(server.timeouts >= 1, "timeout was not counted")
+        # Context exit joins the stalled worker, so the armed plan of the
+        # next scenario can never leak into this server's backend.
+
+
+def server_retry_bounded(ctx: ScenarioContext) -> None:
+    """Client retry is bounded, and a recovering backend is ridden out."""
+    from repro.serving.netclient import NetClientError, TuningClient
+    from repro.serving.server import ServerConfig, ServingServer
+
+    with ServingServer(_tiny_service(ctx), ServerConfig(workers=2)) as server:
+        # A backend that keeps dying must exhaust the client after exactly
+        # 1 + max_retries attempts instead of retrying forever.
+        stubborn = FaultPlan.single("server.accept", "crash", seed=ctx.seed, times=50)
+        with inject(stubborn):
+            with TuningClient(server.host, server.port, timeout=10.0,
+                              max_retries=2, backoff=0.01) as client:
+                try:
+                    client.tune("GEMM-S", trials=4)
+                    ctx.require(False, "a permanently dead backend did not raise")
+                except NetClientError as exc:
+                    ctx.require(
+                        exc.attempts == 3,
+                        f"retry not bounded at 1+max_retries: {exc.attempts}",
+                    )
+            ctx.require(
+                len(stubborn.fired) == 3,
+                f"client hit the backend {len(stubborn.fired)} times, not 3",
+            )
+
+        # A backend that recovers within the budget: the retry rides out the
+        # two drops and the third attempt is answered normally.
+        flaky = FaultPlan.single("server.accept", "crash", seed=ctx.seed, times=2)
+        with inject(flaky):
+            with TuningClient(server.host, server.port, timeout=10.0,
+                              max_retries=3, backoff=0.01) as client:
+                reply = client.tune("GEMM-S", trials=4)
+                ctx.require(reply.ok, f"recovering backend not ridden out: {reply}")
+                ctx.require(
+                    reply.attempts == 3,
+                    f"expected success on attempt 3, got {reply.attempts}",
+                )
+        ctx.require(len(flaky.fired) == 2, "the flaky-backend drops never fired")
+        ctx.require(server.dropped >= 5, "dropped connections were not counted")
+
+
+def server_shed_from_registry(ctx: ScenarioContext) -> None:
+    """A saturated server answers registry-only with an explicit degraded flag."""
+    import threading
+    import time
+
+    from repro.faults.plan import FaultSpec
+    from repro.serving.netclient import TuningClient
+    from repro.serving.server import ServerConfig, ServingServer
+
+    config = ServerConfig(workers=1, max_inflight=1, request_timeout=30.0)
+    with ServingServer(_tiny_service(ctx), config) as server:
+        with TuningClient(server.host, server.port, timeout=30.0) as client:
+            primed = client.tune("GEMM-S", trials=4)
+            ctx.require(
+                primed.ok and not primed.degraded,
+                f"priming tune failed: {primed}",
+            )
+
+        plan = FaultPlan(
+            [
+                # Wedge the only admission slot: the blocker tenant's job
+                # stalls in the backend long enough to saturate the server.
+                FaultSpec("server.accept", "slow_disk", match="blocker:",
+                          delay=1.5),
+                # And the first shed answer dies mid-shed: the client's
+                # bounded retry must recover it.
+                FaultSpec("server.shed", "crash", at=0),
+            ],
+            seed=ctx.seed,
+        )
+        with inject(plan):
+            def _block() -> None:
+                with TuningClient(server.host, server.port, timeout=30.0,
+                                  max_retries=0) as blocker:
+                    blocker.tune("C1D", trials=4, tenant="blocker")
+
+            blocker = threading.Thread(target=_block, daemon=True)
+            blocker.start()
+            deadline = time.monotonic() + 5.0
+            while server.accepted < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            ctx.require(server.accepted >= 2, "blocker request was never admitted")
+
+            with TuningClient(server.host, server.port, timeout=30.0,
+                              max_retries=2, backoff=0.01) as client:
+                # force_tune asks for fresh trials; the saturated server must
+                # answer from the registry instead and say so.
+                reply = client.tune("GEMM-S", trials=4, force_tune=True)
+                ctx.require(
+                    reply.ok and reply.degraded,
+                    f"saturated server did not degrade explicitly: {reply}",
+                )
+                ctx.require(
+                    reply.trials_used == 0,
+                    f"shed answer consumed {reply.trials_used} fresh trials",
+                )
+                ctx.require(
+                    reply.source == "registry-hit",
+                    f"shed answer not from the registry: {reply.source!r}",
+                )
+                ctx.require(
+                    reply.latency == primed.latency,
+                    "shed answer diverged from the stored best",
+                )
+                ctx.require(
+                    reply.attempts == 2,
+                    f"the crashed shed was not retried once: {reply.attempts}",
+                )
+
+                # Unknown workload while saturated: an explicit overloaded
+                # error (still flagged degraded), never a hang or silent drop.
+                miss = client.tune("GEMM-M", trials=4)
+                ctx.require(
+                    not miss.ok and miss.error_code == "overloaded",
+                    f"registry miss under saturation not rejected: {miss}",
+                )
+                ctx.require(miss.degraded, "overloaded answer not flagged degraded")
+            ctx.require(server.shed >= 3, f"shed counter off: {server.shed}")
+            blocker.join(timeout=10.0)
+            ctx.require(not blocker.is_alive(), "wedged job never completed")
+
+
 #: name → scenario callable (consumed by :mod:`repro.faults.obligations`).
 SCENARIOS = {
     "registry_no_lost_best": registry_no_lost_best,
@@ -557,4 +727,7 @@ SCENARIOS = {
     "parallel_worker_retry": parallel_worker_retry,
     "service_finish_after_crash_recovers": service_finish_after_crash_recovers,
     "service_waiters_released": service_waiters_released,
+    "server_timeout_enforced": server_timeout_enforced,
+    "server_retry_bounded": server_retry_bounded,
+    "server_shed_from_registry": server_shed_from_registry,
 }

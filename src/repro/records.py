@@ -27,13 +27,13 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Sequence, Union
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.tuner import TuningResult
 from repro.faults.plan import poll as poll_fault
 from repro.jsonl import repair_torn_tail
 from repro.obs.metrics import counter, histogram
-from repro.serving.fingerprint import structural_fingerprint
+from repro.serving.fingerprint import structural_fingerprint, workload_embedding
 from repro.tensor.dag import ComputeDAG
 from repro.tensor.schedule import Schedule
 from repro.caching import cached_sketches
@@ -248,6 +248,12 @@ class MeasureRecord:
     fingerprint:
         Canonical structural identity of the workload; empty for legacy
         records (which then match by display name only).
+    embedding:
+        Workload embedding (see
+        :func:`repro.serving.fingerprint.workload_embedding`) of the measured
+        DAG; empty for legacy records.  Persisting it through the record
+        stream keeps registry entries recovered from a crashed service
+        visible to nearest-neighbour / cross-target transfer.
     """
 
     workload: str
@@ -257,6 +263,7 @@ class MeasureRecord:
     schedule: dict
     scheduler: str = ""
     fingerprint: str = ""
+    embedding: Tuple[float, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-compatible representation of this measurement."""
@@ -268,6 +275,7 @@ class MeasureRecord:
             "schedule": self.schedule,
             "scheduler": self.scheduler,
             "fingerprint": self.fingerprint,
+            "embedding": list(self.embedding),
         }
 
     @staticmethod
@@ -281,6 +289,7 @@ class MeasureRecord:
             schedule=data["schedule"],
             scheduler=data.get("scheduler", ""),
             fingerprint=data.get("fingerprint", ""),
+            embedding=tuple(float(v) for v in data.get("embedding", ())),
         )
 
     def restore_schedule(
@@ -462,6 +471,8 @@ class RecordStore:
                 schedule=schedule_to_dict(result.schedule),
                 scheduler=scheduler,
                 fingerprint=structural_fingerprint(result.schedule.dag),
+                # Memoised per DAG, so this costs one tuple() per measurement.
+                embedding=tuple(workload_embedding(result.schedule.dag).tolist()),
             )
         )
 

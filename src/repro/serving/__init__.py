@@ -7,7 +7,13 @@ Three layers turn the per-run tuner into a shared, reusable system:
 * :mod:`repro.serving.registry` — the persistent sharded best-schedule
   database with nearest-neighbour transfer lookup,
 * :mod:`repro.serving.service` — the multi-tenant tuning front end with
-  request coalescing and gradient-allocated budgets.
+  request coalescing and gradient-allocated budgets,
+* :mod:`repro.serving.server` / :mod:`repro.serving.netclient` — the
+  long-running asyncio network front end (newline-delimited JSON-RPC over
+  TCP) with admission control, per-tenant rate limits/quotas and degraded
+  load shedding, plus the bounded-retry wire client,
+* :mod:`repro.serving.loadgen` — the closed-loop Zipf/burst load generator
+  behind ``make serve-load`` and ``repro bench-load``.
 
 Submodules are imported lazily so low-level modules (``repro.records``) can
 use the fingerprint helpers without pulling in the registry/service layers
@@ -28,6 +34,13 @@ __all__ = [
     "TuningRequest",
     "JobHandle",
     "TuningService",
+    "ServerConfig",
+    "ServingServer",
+    "NetClientError",
+    "TuneReply",
+    "TuningClient",
+    "LoadGenConfig",
+    "run_load",
 ]
 
 _EXPORTS = {
@@ -40,6 +53,13 @@ _EXPORTS = {
     "TuningRequest": "repro.serving.service",
     "JobHandle": "repro.serving.service",
     "TuningService": "repro.serving.service",
+    "ServerConfig": "repro.serving.server",
+    "ServingServer": "repro.serving.server",
+    "NetClientError": "repro.serving.netclient",
+    "TuneReply": "repro.serving.netclient",
+    "TuningClient": "repro.serving.netclient",
+    "LoadGenConfig": "repro.serving.loadgen",
+    "run_load": "repro.serving.loadgen",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
@@ -58,6 +78,13 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         TuningRequest,
         TuningService,
     )
+    from repro.serving.loadgen import LoadGenConfig, run_load  # noqa: F401
+    from repro.serving.netclient import (  # noqa: F401
+        NetClientError,
+        TuneReply,
+        TuningClient,
+    )
+    from repro.serving.server import ServerConfig, ServingServer  # noqa: F401
 
 
 def __getattr__(name: str):

@@ -51,6 +51,11 @@ _MAX_SPATIAL = 5
 _MAX_REDUCTION = 4
 EMBEDDING_SIZE = _MAX_SPATIAL + _MAX_REDUCTION + 10
 
+# Instance-level memo, same idiom as the fingerprint cache on ComputeDAG:
+# DAGs are structurally immutable after construction, and the embedding is
+# recomputed for every measurement record and nearest() query otherwise.
+_EMBEDDING_ATTR = "_workload_embedding_cache"
+
 
 def _log2(value: float) -> float:
     return float(np.log2(max(float(value), 1.0)))
@@ -63,8 +68,12 @@ def workload_embedding(dag: ComputeDAG) -> np.ndarray:
     statistics); close workloads — same operator family at nearby shapes —
     land close in Euclidean distance, which is what
     :meth:`~repro.serving.registry.ScheduleRegistry.nearest` exploits for
-    transfer warm starts.
+    transfer warm starts.  Memoised per DAG instance (callers must not
+    mutate the returned array).
     """
+    cached = dag.__dict__.get(_EMBEDDING_ATTR)
+    if cached is not None:
+        return cached
     out = np.zeros(EMBEDDING_SIZE, dtype=np.float64)
     main = dag.main_stage
     offset = 0
@@ -88,6 +97,8 @@ def workload_embedding(dag: ComputeDAG) -> np.ndarray:
         float(kinds.count("reduction")),
         1.0 if dag.has_fusable_consumer else 0.0,
     ]
+    out.setflags(write=False)
+    dag.__dict__[_EMBEDDING_ATTR] = out
     return out
 
 

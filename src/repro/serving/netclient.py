@@ -1,0 +1,215 @@
+"""Synchronous wire client for the :class:`~repro.serving.server.ServingServer`.
+
+:class:`TuningClient` speaks the server's newline-delimited JSON-RPC over a
+persistent TCP connection with **bounded retry**: transport failures —
+refused/reset connections, a dropped connection mid-request, a socket
+timeout — reconnect and resend up to ``max_retries`` times (with a small
+linear backoff), then raise :class:`NetClientError` carrying the attempt
+count.  *Server-level* rejections (``rate_limited``, ``quota_exceeded``,
+``timeout``, ``overloaded``) are answers, not failures: they come back as a
+:class:`TuneReply` with ``ok=False`` and are never retried — backoff policy
+for those belongs to the application, not the transport.
+
+This split is what the ``retry.bounded`` gate obligation checks: a backend
+that keeps dropping connections exhausts the client after exactly
+``1 + max_retries`` attempts, and a backend that recovers within the budget
+is ridden out transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["NetClientError", "TuneReply", "TuningClient"]
+
+
+class NetClientError(RuntimeError):
+    """Transport-level failure that survived every retry."""
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(f"{message} (after {attempts} attempt(s))")
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class TuneReply:
+    """One decoded server response plus client-side bookkeeping.
+
+    ``ok=False`` replies carry the server's explicit rejection in
+    ``error_code``/``error_message``; ``degraded=True`` marks registry-only
+    answers from a saturated (load-shedding) server.  ``attempts`` counts
+    transport attempts (1 = first try succeeded) and ``elapsed`` is the
+    client-observed wall-clock latency in seconds.
+    """
+
+    ok: bool
+    degraded: bool = False
+    result: dict = field(default_factory=dict)
+    error_code: str = ""
+    error_message: str = ""
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return float(self.result.get("latency", float("inf")))
+
+    @property
+    def trials_used(self) -> int:
+        return int(self.result.get("trials_used", 0))
+
+    @property
+    def source(self) -> str:
+        return str(self.result.get("source", ""))
+
+
+class TuningClient:
+    """Blocking JSON-RPC client with reconnect and bounded retry.
+
+    Parameters
+    ----------
+    timeout:
+        Socket timeout per attempt, seconds.  Keep it above the server's
+        ``request_timeout`` — the server answers an explicit ``timeout``
+        error *before* this expires, so a socket timeout genuinely means a
+        dead transport.
+    max_retries:
+        Transport retries after the first attempt (total attempts =
+        ``1 + max_retries``).
+    backoff:
+        Sleep ``backoff * attempt`` seconds between attempts.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.max_retries = max(int(max_retries), 0)
+        self.backoff = float(backoff)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "TuningClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the wire
+    # ------------------------------------------------------------------ #
+    def _roundtrip(self, request: dict) -> dict:
+        """One request/response exchange on the current connection."""
+        if self._sock is None:
+            self._connect()
+        line = json.dumps(request).encode("utf-8") + b"\n"
+        self._sock.sendall(line)
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionResetError("server closed the connection mid-request")
+        return json.loads(raw)
+
+    def call(self, method: str, params: Optional[dict] = None) -> dict:
+        """Send one request with bounded retry; returns the raw response dict.
+
+        Retries only transport failures; any decoded response — including
+        ``ok=False`` rejections — is returned as-is.  The response dict is
+        augmented with ``"attempts"``.
+        """
+        self._next_id += 1
+        request = {"id": self._next_id, "method": method, "params": params or {}}
+        attempts = 1 + self.max_retries
+        last_error: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                response = self._roundtrip(request)
+                response["attempts"] = attempt
+                return response
+            except (OSError, ValueError) as exc:
+                # OSError covers refused/reset/timeout; ValueError covers a
+                # torn JSON line from a connection cut mid-response.
+                last_error = exc
+                self.close()
+                if attempt < attempts:
+                    time.sleep(self.backoff * attempt)
+        raise NetClientError(
+            f"{type(last_error).__name__}: {last_error}", attempts=attempts
+        )
+
+    # ------------------------------------------------------------------ #
+    # typed helpers
+    # ------------------------------------------------------------------ #
+    def tune(
+        self,
+        op: str,
+        batch: int = 1,
+        trials: int = 16,
+        tenant: str = "default",
+        force_tune: bool = False,
+    ) -> TuneReply:
+        """Tune (or fetch) one operator-class workload; never raises on
+        server-level rejections — inspect ``TuneReply.ok``/``error_code``."""
+        began = time.perf_counter()
+        response = self.call("tune", {
+            "op": op, "batch": batch, "trials": trials,
+            "tenant": tenant, "force_tune": force_tune,
+        })
+        error = response.get("error") or {}
+        return TuneReply(
+            ok=bool(response.get("ok")),
+            degraded=bool(response.get("degraded")),
+            result=response.get("result") or {},
+            error_code=str(error.get("code", "")),
+            error_message=str(error.get("message", "")),
+            attempts=int(response.get("attempts", 1)),
+            elapsed=time.perf_counter() - began,
+        )
+
+    def query(self, op: str, batch: int = 1) -> dict:
+        """Registry-only lookup; returns the result dict (``found`` key)."""
+        return self.call("query", {"op": op, "batch": batch}).get("result") or {}
+
+    def ping(self) -> bool:
+        response = self.call("ping")
+        return bool(response.get("ok")) and bool(
+            (response.get("result") or {}).get("pong")
+        )
+
+    def stats(self) -> dict:
+        return self.call("stats").get("result") or {}

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass, replace
@@ -203,6 +204,16 @@ class ScheduleRegistry:
     strict:
         When true, corrupted lines raise at load time instead of being
         skipped and counted in :attr:`skipped_lines`.
+
+    Thread safety
+    -------------
+    One re-entrant mutex guards the best map, the shard handles and the line
+    counters, so :meth:`record` is atomic per entry (absorb + append commit
+    together) and concurrent writers — racing service drivers, the network
+    front end's worker threads — can never interleave shard writes or lose a
+    best-entry update.  Query methods snapshot under the same lock; the lock
+    is re-entrant so :meth:`merge`/:meth:`import_file` can call
+    :meth:`record` while holding it.
     """
 
     def __init__(
@@ -222,6 +233,7 @@ class ScheduleRegistry:
         self.removed_orphans = 0
         self._best: Dict[Tuple[str, str], RegistryEntry] = {}
         self._handles: Dict[int, IO[str]] = {}
+        self._mutex = threading.RLock()
         if self.root is not None and self.root.exists():
             self.removed_orphans = self._remove_orphan_tmps()
             # Glob rather than range(num_shards): a registry written with a
@@ -322,9 +334,13 @@ class ScheduleRegistry:
         """
         if not entry.fingerprint:
             raise ValueError("registry entries need a non-empty fingerprint")
-        accepted = self._absorb(entry)
-        if accepted:
-            self._append(entry)
+        # Absorb + append must commit together: a second writer slipping in
+        # between them could absorb a worse entry over the unappended best,
+        # or append a line the best map never saw.
+        with self._mutex:
+            accepted = self._absorb(entry)
+            if accepted:
+                self._append(entry)
         return accepted
 
     def record_result(
@@ -364,7 +380,8 @@ class ScheduleRegistry:
     def get(self, fingerprint: str, target) -> Optional[RegistryEntry]:
         """O(1) exact lookup by (fingerprint, target)."""
         target_name = target if isinstance(target, str) else target.name
-        entry = self._best.get((fingerprint, target_name))
+        with self._mutex:
+            entry = self._best.get((fingerprint, target_name))
         _LOOKUPS.inc()
         (_HITS if entry is not None else _MISSES).inc()
         return entry
@@ -375,7 +392,8 @@ class ScheduleRegistry:
 
     def entries(self) -> List[RegistryEntry]:
         """Current best entry of every (fingerprint, target) key."""
-        return [self._best[key] for key in sorted(self._best)]
+        with self._mutex:
+            return [self._best[key] for key in sorted(self._best)]
 
     def nearest(
         self,
@@ -393,8 +411,10 @@ class ScheduleRegistry:
         target_name = target if isinstance(target, str) else target.name
         fingerprint = structural_fingerprint(dag)
         query = workload_embedding(dag)
+        with self._mutex:
+            candidates = list(self._best.values())
         scored: List[Tuple[float, RegistryEntry]] = []
-        for entry in self._best.values():
+        for entry in candidates:
             if entry.target != target_name or not entry.embedding:
                 continue
             if exclude_exact and entry.fingerprint == fingerprint:
@@ -429,8 +449,10 @@ class ScheduleRegistry:
         fingerprint = structural_fingerprint(dag)
         query = workload_embedding(dag)
         distances: Dict[str, float] = {}
+        with self._mutex:
+            candidates = list(self._best.values())
         scored: List[Tuple[float, float, RegistryEntry]] = []
-        for entry in self._best.values():
+        for entry in candidates:
             if entry.target == target.name or entry.schedule is None:
                 continue
             t_dist = distances.get(entry.target)
@@ -452,29 +474,32 @@ class ScheduleRegistry:
 
     def stats(self) -> dict:
         """Aggregate registry statistics (entries, shards, stale lines, ...)."""
-        targets = sorted({entry.target for entry in self._best.values()})
         shard_files = 0
         if self.root is not None and self.root.exists():
             shard_files = len(list(self.root.glob("shard-*.jsonl")))
-        return {
-            "entries": len(self._best),
-            "workloads": len({fp for fp, _t in self._best}),
-            "targets": targets,
-            "shard_files": shard_files,
-            "total_lines": self.total_lines,
-            "stale_lines": max(
-                self.total_lines - self.skipped_lines - len(self._best), 0
-            ),
-            "skipped_lines": self.skipped_lines,
-            "truncated_tails": self.truncated_tails,
-            "removed_orphans": self.removed_orphans,
-        }
+        with self._mutex:
+            targets = sorted({entry.target for entry in self._best.values()})
+            return {
+                "entries": len(self._best),
+                "workloads": len({fp for fp, _t in self._best}),
+                "targets": targets,
+                "shard_files": shard_files,
+                "total_lines": self.total_lines,
+                "stale_lines": max(
+                    self.total_lines - self.skipped_lines - len(self._best), 0
+                ),
+                "skipped_lines": self.skipped_lines,
+                "truncated_tails": self.truncated_tails,
+                "removed_orphans": self.removed_orphans,
+            }
 
     def __len__(self) -> int:
-        return len(self._best)
+        with self._mutex:
+            return len(self._best)
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
-        return key in self._best
+        with self._mutex:
+            return key in self._best
 
     # ------------------------------------------------------------------ #
     # warm starts
@@ -801,9 +826,10 @@ class ScheduleRegistry:
         if self.root is None:
             return 0
         began = time.perf_counter()
-        with obs_span("registry.compact", entries=len(self._best)) as compact_span:
-            removed = self._compact_inner()
-            compact_span.annotate(removed=removed)
+        with self._mutex:
+            with obs_span("registry.compact", entries=len(self._best)) as compact_span:
+                removed = self._compact_inner()
+                compact_span.annotate(removed=removed)
         _COMPACT.observe(time.perf_counter() - began)
         return removed
 
@@ -849,9 +875,10 @@ class ScheduleRegistry:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Close all shard file handles (idempotent)."""
-        for fh in self._handles.values():
-            fh.close()
-        self._handles.clear()
+        with self._mutex:
+            for fh in self._handles.values():
+                fh.close()
+            self._handles.clear()
 
     def __enter__(self) -> "ScheduleRegistry":
         return self

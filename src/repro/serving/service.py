@@ -112,6 +112,12 @@ class _Job:
         self.scheduler = scheduler
         self.n_trials = int(request.n_trials)
         self.trials_used = 0
+        # Exactly one round may run per job at a time: concurrent
+        # run()/advance() drivers serialize here, and the budget is
+        # recomputed under the lock so two drivers can never both pass the
+        # remaining-trials check and double-drive the job.
+        self.drive_lock = threading.Lock()
+        self.finished = False
         self.handles: List[JobHandle] = []
         self.tenants: List[str] = []
         self.state = SubgraphState(
@@ -382,39 +388,67 @@ class TuningService:
             if not jobs:
                 break
             job = self._select_job(jobs)
-            self._drive_round(job, job.n_trials - job.trials_used)
+            self._drive_round(job)
             rounds += 1
         return rounds
 
-    def _drive_round(self, job: _Job, budget: int) -> int:
+    def _drive_round(self, job: _Job, max_measures: Optional[int] = None) -> int:
         """Run one tuning round on ``job``; returns the trials consumed.
 
-        Shared by :meth:`run` and :meth:`advance`.  A scheduler that raises
-        does not strand its waiters: the job is aborted (every coalesced
-        handle resolves with an error-tagged result) before the exception
-        propagates.  An :class:`~repro.faults.plan.InjectedCrash` is the one
-        exception to that — it simulates the whole process dying, so nothing
-        (including the abort path) may run after it; recovery happens in a
-        fresh service via :meth:`recover_from_records`.
+        Shared by :meth:`run` and :meth:`advance`.  The job's drive lock
+        serializes concurrent drivers (exactly one round runs per job at a
+        time) and the remaining budget is recomputed under it, so racing
+        ``run()``/``advance()`` callers cannot double-drive a job past its
+        budget or finish it twice.  ``max_measures`` caps this round only; a
+        cap of 0 is a budget probe, not exhaustion — it returns 0 without
+        touching the job.  A round that genuinely consumes nothing means the
+        scheduler is exhausted and the job finishes.
+
+        A scheduler that raises does not strand its waiters: the job is
+        aborted (every coalesced handle resolves with an error-tagged result)
+        before the exception propagates.  An
+        :class:`~repro.faults.plan.InjectedCrash` is the one exception to
+        that — it simulates the whole process dying, so nothing (including
+        the abort path) may run after it; recovery happens in a fresh service
+        via :meth:`recover_from_records`.
         """
-        with obs_span(
-            "service.round", job=job.key[0][:12], workload=job.dag.name, budget=budget
-        ) as round_span:
-            try:
-                spent = job.scheduler.tune_round(job.dag, max_measures=budget)
-            except InjectedCrash:
-                raise
-            except Exception as exc:
-                self._abort_job(job, exc)
-                raise
-            job.trials_used += spent
-            job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
-            round_span.annotate(trials=spent)
-            fired = poll_fault("service.advance", detail=job.key[0][:12])
-            if fired is not None:
-                fired.crash(f"crash between advance and finish of job {job.key[0][:12]}")
-            if job.trials_used >= job.n_trials or spent == 0:
+        # A zero/negative per-round cap consumes nothing by definition; it
+        # must not reach the spent == 0 exhaustion check below, which would
+        # prematurely finalize a job that still has budget.
+        if max_measures is not None and int(max_measures) <= 0:
+            return 0
+        with job.drive_lock:
+            if job.finished:
+                return 0
+            budget = job.n_trials - job.trials_used
+            if max_measures is not None:
+                budget = min(budget, int(max_measures))
+            if budget <= 0:
+                # Genuine exhaustion: another driver spent the last trials
+                # while we waited on the lock.
                 self._finish_job(job)
+                return 0
+            with obs_span(
+                "service.round", job=job.key[0][:12], workload=job.dag.name,
+                budget=budget,
+            ) as round_span:
+                try:
+                    spent = job.scheduler.tune_round(job.dag, max_measures=budget)
+                except InjectedCrash:
+                    raise
+                except Exception as exc:
+                    self._abort_job(job, exc)
+                    raise
+                job.trials_used += spent
+                job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
+                round_span.annotate(trials=spent)
+                fired = poll_fault("service.advance", detail=job.key[0][:12])
+                if fired is not None:
+                    fired.crash(
+                        f"crash between advance and finish of job {job.key[0][:12]}"
+                    )
+                if job.trials_used >= job.n_trials or spent == 0:
+                    self._finish_job(job)
         return spent
 
     def _abort_job(self, job: _Job, exc: BaseException) -> None:
@@ -449,6 +483,7 @@ class TuningService:
             )
         except Exception:
             pass
+        job.finished = True
         with self._lock:
             self._jobs.pop(job.key, None)
             self._order = [key for key in self._order if key != job.key]
@@ -498,7 +533,11 @@ class TuningService:
                     trials=counts[fingerprint],
                     scheduler=rec.scheduler or "recovered",
                     schedule=rec.schedule,
-                    embedding=(),
+                    # Recovered entries keep the embedding the measurement
+                    # persisted, so they stay visible to nearest() and
+                    # cross-target transfer after a crash (legacy logs
+                    # without embeddings recover with an empty one).
+                    embedding=tuple(getattr(rec, "embedding", ()) or ()),
                     source=source,
                 )
                 if self.registry.record(entry):
@@ -514,6 +553,7 @@ class TuningService:
         _JOBS_FINISHED.inc()
 
     def _finish_job_inner(self, job: _Job) -> None:
+        job.finished = True
         result = job.scheduler.finalize(job.dag)
         result.extras["fingerprint"] = job.key[0]
         result.extras["tenants"] = list(job.tenants)
@@ -559,20 +599,18 @@ class TuningService:
         allocates rounds across a network's subgraphs with the Eq. 3 gradient
         or the HARL bandit) instead of delegating to :meth:`run`.  Returns the
         measurement trials consumed — 0 when the handle is already done
-        (registry hit, or its job finished through a coalesced sibling).
+        (registry hit, or its job finished through a coalesced sibling), or
+        when ``max_measures=0`` (a budget probe — the job stays active).
         The job is finished (flushed to the registry, all its handles
-        resolved) once its trial budget is exhausted or a round consumes
-        nothing.
+        resolved) once its trial budget is exhausted or an unconstrained
+        round consumes nothing.
         """
         if handle.done:
             return 0
         job = self._job_of(handle)
         if job is None:
             return 0
-        budget = job.n_trials - job.trials_used
-        if max_measures is not None:
-            budget = min(budget, int(max_measures))
-        return self._drive_round(job, budget)
+        return self._drive_round(job, max_measures=max_measures)
 
     def finish(self, handle: JobHandle) -> TuningResult:
         """Finalize the job serving ``handle`` now, regardless of budget left.
@@ -584,7 +622,10 @@ class TuningService:
         if not handle.done:
             job = self._job_of(handle)
             if job is not None:
-                self._finish_job(job)
+                # Wait out any in-flight round, then finish exactly once.
+                with job.drive_lock:
+                    if not job.finished:
+                        self._finish_job(job)
         if handle.result is None:
             raise ValueError(
                 "finish() got a handle this service does not own "

@@ -1,6 +1,8 @@
 """Tests for the sharded persistent schedule registry."""
 
 import json
+import random
+import threading
 
 import pytest
 
@@ -127,6 +129,73 @@ class TestMergeImportExport:
     def test_import_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             ScheduleRegistry().import_file(tmp_path / "absent.jsonl")
+
+
+class TestConcurrentWriters:
+    @staticmethod
+    def _synthetic(key: int, latency: float) -> RegistryEntry:
+        return RegistryEntry(
+            fingerprint=f"stress-{key:02d}",
+            target="sim-cpu",
+            workload=f"workload_{key}",
+            latency=float(latency),
+            throughput=1.0 / float(latency),
+            trials=4,
+            scheduler="harl",
+            schedule={"tile": key},
+            embedding=(float(key), 1.0),
+            source="stress",
+        )
+
+    def test_multi_writer_stress_keeps_record_atomic(self, registry_root):
+        """Racing writers never tear the absorb/append pair of record().
+
+        Pre-fix, a thread could lose the _best check-then-append race: two
+        writers both pass the improvement check, both append, and the
+        in-memory best diverges from what a reload computes from the shards.
+        """
+        registry = ScheduleRegistry(registry_root, num_shards=4)
+        writers, keys, steps = 8, 6, 40
+        barrier = threading.Barrier(writers)
+        errors = []
+
+        def writer(index):
+            rng = random.Random(index)
+            barrier.wait()
+            try:
+                for step in range(steps):
+                    key = rng.randrange(keys)
+                    # Descending floor per key so improvements keep landing
+                    # throughout the race, from every thread.
+                    latency = 10.0 - step / steps * 5.0 + rng.random()
+                    registry.record(self._synthetic(key, latency))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        in_memory = {e.key: e.latency for e in registry.entries()}
+        assert len(in_memory) == keys
+        registry.close()
+
+        # Every appended line must be intact JSON, monotonically improving
+        # per key (an append only happens for an accepted improvement), and
+        # the reload's best map must equal the in-memory one.
+        seen_best = {}
+        for shard in sorted(registry_root.glob("shard-*.jsonl")):
+            for line in shard.read_text().splitlines():
+                entry = json.loads(line)  # raises on a torn/interleaved line
+                key = (entry["fingerprint"], entry["target"])
+                assert entry["latency"] < seen_best.get(key, float("inf"))
+                seen_best[key] = entry["latency"]
+        reloaded = ScheduleRegistry(registry_root, num_shards=4)
+        assert {e.key: e.latency for e in reloaded.entries()} == in_memory
+        assert reloaded.skipped_lines == 0
 
 
 class TestCorruptionAndCompaction:

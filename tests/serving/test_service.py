@@ -9,6 +9,7 @@ The acceptance-critical regressions live here:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -321,3 +322,157 @@ class TestWarmStartTransfer:
         assert handle.result.best_schedule is not None
         # Both workloads are now registered for future exact hits.
         assert len(registry) == 2
+
+
+class _TrackingStubScheduler:
+    """Stub scheduler that records concurrent tune_round entries."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.active = 0
+        self.max_active = 0
+        self.rounds = 0
+        self.spent = 0
+        self.measurer = self  # provides best_latency below
+
+    def best_latency(self, name):
+        return 1.0
+
+    def tune_round(self, dag, max_measures):
+        with self._lock:
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        time.sleep(0.002)  # widen the race window
+        with self._lock:
+            self.active -= 1
+            self.rounds += 1
+            spent = min(int(max_measures), 2)
+            self.spent += spent
+        return spent
+
+    def finalize(self, dag):
+        from repro.core.tuner import TuningResult
+
+        return TuningResult(
+            workload=dag.name, scheduler="stub", best_latency=1.0,
+            best_throughput=1.0, best_schedule=None, trials_used=self.spent,
+            search_steps=0, history=[],
+        )
+
+
+class TestDriveConcurrency:
+    """Regressions for the concurrency bugfix pass in the serving core."""
+
+    def test_advance_zero_measures_is_a_probe_not_exhaustion(self, service):
+        """max_measures=0 must return 0 without finalizing the job."""
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=8))
+        assert service.advance(handle, max_measures=0) == 0
+        # Pre-fix this finalized the job with zero trials ("spent == 0 means
+        # the scheduler is exhausted"); the handle must still be live.
+        assert not handle.done
+        assert service.active_jobs() == 1
+        while not handle.done:
+            service.advance(handle)
+        assert handle.result.trials_used >= 8
+
+    def test_concurrent_drivers_never_overlap_a_round(self, tiny_config):
+        """run() and advance() racing on one job drive one round at a time."""
+        stub = _TrackingStubScheduler()
+        service = TuningService(
+            registry=ScheduleRegistry(), config=tiny_config, seed=0,
+            scheduler_factory=lambda name, seed, provider: stub,
+        )
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=24))
+        barrier = threading.Barrier(4)
+
+        def advancer():
+            barrier.wait()
+            while not handle.done:
+                service.advance(handle, max_measures=2)
+
+        def runner():
+            barrier.wait()
+            service.run()
+
+        threads = [threading.Thread(target=advancer) for _ in range(3)]
+        threads.append(threading.Thread(target=runner))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert handle.done
+        assert stub.max_active == 1  # pre-fix: concurrent rounds overlapped
+        # Drivers racing past the budget check must not overspend the job.
+        assert handle.result.trials_used == 24
+        assert service.active_jobs() == 0
+
+    def test_finish_and_run_racing_finalize_once(self, tiny_config):
+        stub = _TrackingStubScheduler()
+        service = TuningService(
+            registry=ScheduleRegistry(), config=tiny_config, seed=0,
+            scheduler_factory=lambda name, seed, provider: stub,
+        )
+        handle = service.submit(TuningRequest(dag=gemm(64, 64, 64), n_trials=8))
+        service.advance(handle, max_measures=2)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+
+        def finisher(slot):
+            barrier.wait()
+            results[slot] = service.finish(handle)
+
+        threads = [threading.Thread(target=finisher, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert handle.done
+        assert results[0] is results[1] is handle.result
+
+
+class TestRecoverThenTransfer:
+    """Regression for the embedding-through-records fix: recovered entries
+    must stay visible to nearest() / warm-start transfer, not just exact
+    lookups."""
+
+    def test_recovered_entries_keep_their_embedding(self, tiny_config, tmp_path):
+        from repro.records import RecordStore
+
+        log = tmp_path / "records.jsonl"
+        store = RecordStore(log)
+        crashed = TuningService(
+            registry=ScheduleRegistry(), config=tiny_config, seed=0,
+            record_store=store,
+        )
+        crashed.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8)])
+        store.close()
+        # "Crash": the registry dies with the process; only the record log
+        # survives.
+
+        revived = TuningService(
+            registry=ScheduleRegistry(), config=tiny_config, seed=0,
+            record_store=RecordStore.load(log),
+        )
+        assert revived.recover_from_records() == 1
+
+        entry = revived.registry.lookup(gemm(64, 64, 64), revived.target)
+        assert entry is not None
+        # Pre-fix, MeasureRecord carried no embedding, so recovered entries
+        # came back with an empty one and nearest() skipped them forever.
+        assert len(entry.embedding) > 0
+
+        similar = gemm(96, 96, 96, name="relative")
+        neighbours = revived.registry.nearest(similar, revived.target, k=3)
+        assert any(
+            candidate.fingerprint == entry.fingerprint
+            for _dist, candidate in neighbours
+        )
+
+        # And the whole point: a similar workload warm-starts from the
+        # recovered donor.
+        handle = revived.process(
+            [TuningRequest(dag=similar, n_trials=8)]
+        )[0]
+        donors = handle.result.extras.get("warm_start_donors", [])
+        assert any("gemm_m64k64n64" in donor for donor in donors)
