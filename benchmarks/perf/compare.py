@@ -30,9 +30,9 @@ def load(path: Path) -> dict:
     try:
         return json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
-        raise SystemExit(f"missing benchmark file: {path}")
+        raise SystemExit(f"missing benchmark file: {path}") from None
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"malformed benchmark file {path}: {exc}")
+        raise SystemExit(f"malformed benchmark file {path}: {exc}") from exc
 
 
 def compare(current: dict, baseline: dict, max_regression: float) -> List[str]:

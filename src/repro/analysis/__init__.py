@@ -1,0 +1,39 @@
+"""Repo-aware static analysis for the repro tuning/serving stack.
+
+Four AST-level checkers enforce the correctness conventions the codebase
+relies on (see ``docs/architecture.md`` § Static analysis):
+
+* :mod:`~repro.analysis.lock_discipline` — declared-guarded attributes are
+  only touched under their lock / in ``*_locked`` helpers;
+* :mod:`~repro.analysis.async_blocking` — no blocking calls inside
+  ``async def`` bodies;
+* :mod:`~repro.analysis.fault_coverage` — fault-point table, production
+  ``poll_fault`` sites, and obligation scenarios stay in sync;
+* :mod:`~repro.analysis.obs_hygiene` — metric/span names are literal,
+  well-formed, and histograms observe seconds.
+
+Entry points: ``repro analyze`` (CLI), ``python -m repro.analysis``,
+``make analyze``.
+"""
+
+from .base import Checker, Project, SourceModule
+from .baseline import Baseline, BaselineEntry, BaselineError
+from .findings import Finding, make_finding
+from .report import Report
+from .runner import analyze_project, default_checkers, main, run_analysis
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "Project",
+    "Report",
+    "SourceModule",
+    "analyze_project",
+    "default_checkers",
+    "main",
+    "make_finding",
+    "run_analysis",
+]

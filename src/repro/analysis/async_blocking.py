@@ -1,0 +1,166 @@
+"""Asyncio-blocking checker (rule ``async.blocking-call``).
+
+Flags calls inside ``async def`` bodies that block the event loop:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* synchronous file I/O: ``open()``, ``Path.read_text/write_text/
+  read_bytes/write_bytes``;
+* blocking lock operations: ``<lock>.acquire(...)`` without
+  ``blocking=False`` and ``with self._lock:`` on threading locks
+  (``asyncio`` primitives are awaited, never entered synchronously);
+* queue/thread joins: ``.get()`` / ``.join()`` on queue/thread-ish names;
+* subprocess / ``os.system``;
+* socket operations: ``.recv`` / ``.send`` / ``.sendall`` / ``.accept``
+  / ``.connect`` on socket-ish receivers;
+* direct ``TuningService`` work (``submit`` / ``advance`` / ``finish`` /
+  ``run`` / ``process`` on a ``service``-named receiver) — these drive
+  measurement trials and belong on the worker pool, not the loop.
+
+Nested synchronous ``def`` bodies inside an ``async def`` are skipped:
+they run wherever they are called (usually an executor).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .base import Checker, SourceModule, dotted_name
+from .findings import Finding, make_finding
+
+_BLOCKING_EXACT = {
+    "time.sleep": "use 'await asyncio.sleep(...)' on the event loop",
+    "os.system": "run subprocesses via asyncio.create_subprocess_exec",
+    "subprocess.run": "run subprocesses via asyncio.create_subprocess_exec",
+    "subprocess.call": "run subprocesses via asyncio.create_subprocess_exec",
+    "subprocess.check_output": "run subprocesses via asyncio.create_subprocess_exec",
+    "subprocess.check_call": "run subprocesses via asyncio.create_subprocess_exec",
+    "open": "do file I/O on the worker pool (run_in_executor), not the loop",
+}
+
+_PATH_IO = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+_SOCKET_OPS = {"recv", "recv_into", "send", "sendall", "accept", "connect"}
+_SOCKETISH = ("sock", "socket", "conn")
+
+_QUEUEISH = ("queue", "thread", "worker", "proc")
+
+_SERVICE_OPS = {"submit", "advance", "finish", "run", "process"}
+
+
+class AsyncBlockingChecker(Checker):
+    name = "asyncio-blocking"
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(_scan_async_body(module, node))
+        return findings
+
+
+def _scan_async_body(module: SourceModule, func: ast.AsyncFunctionDef) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return  # sync nested def: runs elsewhere (executor / callback)
+        if isinstance(node, ast.AsyncFunctionDef) and node is not func:
+            return  # its own async scope; walked separately
+        if isinstance(node, ast.With):
+            for item in node.items:
+                finding = _check_sync_with(module, func, item)
+                if finding:
+                    findings.append(finding)
+        if isinstance(node, ast.Call):
+            finding = _check_call(module, func, node)
+            if finding:
+                findings.append(finding)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in func.body:
+        visit(stmt)
+    return findings
+
+
+def _check_sync_with(
+    module: SourceModule, func: ast.AsyncFunctionDef, item: ast.withitem
+) -> Optional[Finding]:
+    name = dotted_name(item.context_expr)
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if name and ("lock" in leaf or "mutex" in leaf or "sem" in leaf):
+        return make_finding(
+            "async.blocking-call",
+            module.path,
+            item.context_expr.lineno,
+            f"'with {name}:' blocks the event loop in async def {func.name} "
+            f"(threading locks park the whole loop, not just this task)",
+            hint="keep the state loop-confined (call_soon_threadsafe) or use asyncio.Lock",
+            key=f"with:{name}@{func.name}",
+        )
+    return None
+
+
+def _check_call(
+    module: SourceModule, func: ast.AsyncFunctionDef, node: ast.Call
+) -> Optional[Finding]:
+    name = dotted_name(node.func)
+    if not name:
+        return None
+
+    def finding(reason: str, hint: str) -> Finding:
+        return make_finding(
+            "async.blocking-call",
+            module.path,
+            node.lineno,
+            f"{reason} in async def {func.name}",
+            hint=hint,
+            key=f"{name}@{func.name}",
+        )
+
+    if name in _BLOCKING_EXACT:
+        return finding(f"blocking call {name}()", _BLOCKING_EXACT[name])
+
+    if "." not in name:
+        return None
+    receiver, leaf = name.rsplit(".", 1)
+    receiver_leaf = receiver.rsplit(".", 1)[-1].lower()
+
+    if leaf in _PATH_IO:
+        return finding(
+            f"synchronous file I/O {name}()",
+            "do file I/O on the worker pool (run_in_executor), not the loop",
+        )
+    if leaf == "acquire" and ("lock" in receiver_leaf or "sem" in receiver_leaf):
+        if not _has_nonblocking_flag(node):
+            return finding(
+                f"blocking {name}()",
+                "pass blocking=False or keep the state loop-confined",
+            )
+        return None
+    if leaf in _SOCKET_OPS and any(part in receiver_leaf for part in _SOCKETISH):
+        return finding(
+            f"blocking socket op {name}()",
+            "use the asyncio stream reader/writer, not raw socket calls",
+        )
+    if leaf in ("get", "join") and any(part in receiver_leaf for part in _QUEUEISH):
+        return finding(
+            f"blocking {name}()",
+            "use get_nowait()/run_in_executor or an asyncio.Queue",
+        )
+    if leaf in _SERVICE_OPS and "service" in receiver_leaf:
+        return finding(
+            f"direct TuningService work {name}()",
+            "post tuning work to the worker pool; only callbacks touch the loop",
+        )
+    return None
+
+
+def _has_nonblocking_flag(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "blocking" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    if node.args and isinstance(node.args[0], ast.Constant):
+        return node.args[0].value is False
+    return False

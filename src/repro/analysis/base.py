@@ -1,0 +1,146 @@
+"""Project loader and checker base class for :mod:`repro.analysis`.
+
+The framework is deliberately small: a :class:`SourceModule` wraps one
+parsed file (path, source text, AST), a :class:`Project` is the set of
+modules under analysis, and a :class:`Checker` contributes findings either
+per module (:meth:`Checker.check_module`) or once over the whole project
+(:meth:`Checker.check_project`) for cross-file rules such as
+fault-point/obligation coverage.
+
+Modules can be loaded from disk (:meth:`Project.load`) or built from
+in-memory sources (:meth:`Project.from_sources`) so tests can feed checkers
+small fixture snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .findings import Finding, make_finding
+
+
+class SourceModule:
+    """One parsed Python source file."""
+
+    def __init__(self, path: str, source: str, tree: Optional[ast.Module] = None):
+        self.path = path  # repo-relative, forward slashes
+        self.source = source
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+
+
+class Project:
+    """The set of modules one analysis run looks at."""
+
+    def __init__(self, modules: Sequence[SourceModule], root: Optional[Path] = None):
+        self.modules = list(modules)
+        self.root = root
+        self.syntax_errors: List[Finding] = []
+
+    @classmethod
+    def load(cls, root: Path, paths: Optional[Iterable[Path]] = None) -> "Project":
+        """Load every ``*.py`` under ``root`` (or just ``paths``) into a project.
+
+        Files that fail to parse become ``analysis.syntax`` findings instead of
+        aborting the run, so one broken file cannot hide every other finding.
+        """
+        root = Path(root)
+        if paths is None:
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = sorted(Path(p) for p in paths)
+        modules: List[SourceModule] = []
+        errors: List[Finding] = []
+        for file_path in candidates:
+            rel = _relpath(file_path, root)
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as exc:
+                errors.append(
+                    make_finding("analysis.syntax", rel, 0, f"unreadable file: {exc}")
+                )
+                continue
+            try:
+                tree = ast.parse(source, filename=rel)
+            except SyntaxError as exc:
+                errors.append(
+                    make_finding(
+                        "analysis.syntax",
+                        rel,
+                        exc.lineno or 0,
+                        f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            modules.append(SourceModule(rel, source, tree))
+        project = cls(modules, root=root)
+        project.syntax_errors = errors
+        return project
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Project":
+        """Build a project from ``{path: source}`` — the test-fixture entry point."""
+        return cls([SourceModule(path, text) for path, text in sorted(sources.items())])
+
+    def module(self, path: str) -> Optional[SourceModule]:
+        for mod in self.modules:
+            if mod.path == path:
+                return mod
+        return None
+
+
+class Checker:
+    """Base class: override :meth:`check_module` and/or :meth:`check_project`."""
+
+    name = "checker"
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        return []
+
+    def check_project(self, project: Project) -> List[Finding]:
+        return []
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            findings.extend(self.check_module(module))
+        findings.extend(self.check_project(project))
+        return findings
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers
+# --------------------------------------------------------------------------- #
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target: ``time.sleep`` / ``self._append`` / ``open``."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("?")
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def string_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

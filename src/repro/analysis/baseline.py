@@ -1,0 +1,136 @@
+"""Baseline / suppression file for :mod:`repro.analysis`.
+
+A baseline entry accepts one *existing* finding so the gate stays green
+while the debt is tracked.  Entries match on ``(rule, path, key)`` — the
+finding's stable key, not its line number — so unrelated edits don't
+invalidate the baseline, but a second violation of the same rule in the
+same file still fails.  Every entry must carry a non-empty ``justification``
+(enforced at load time): a baseline without a reason is just a muted bug.
+
+File format (``ANALYSIS_baseline.json``)::
+
+    {
+      "schema": "repro-analysis-baseline/1",
+      "entries": [
+        {"rule": "...", "path": "...", "key": "...", "justification": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .findings import Finding
+
+SCHEMA = "repro-analysis-baseline/1"
+DEFAULT_BASELINE = "ANALYSIS_baseline.json"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad schema, missing fields, no justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    key: str
+    justification: str
+
+    def ident(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.key)
+
+
+class Baseline:
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries = list(entries)
+        self._index = {entry.ident() for entry in self.entries}
+
+    def suppresses(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.stable_key()) in self._index
+
+    def split(self, findings: Iterable[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined)."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            (baselined if self.suppresses(finding) else new).append(finding)
+        return new, baselined
+
+    def stale_entries(self, findings: Iterable[Finding]) -> List[BaselineEntry]:
+        """Entries no current finding matches — candidates for deletion."""
+        live = {(f.rule, f.path, f.stable_key()) for f in findings}
+        return [entry for entry in self.entries if entry.ident() not in live]
+
+    # -- persistence ---------------------------------------------------- #
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+        return cls.from_dict(payload, origin=str(path))
+
+    @classmethod
+    def from_dict(cls, payload: Dict, origin: str = "<memory>") -> "Baseline":
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            raise BaselineError(f"{origin}: expected schema '{SCHEMA}'")
+        entries: List[BaselineEntry] = []
+        for idx, raw in enumerate(payload.get("entries", [])):
+            missing = [
+                field
+                for field in ("rule", "path", "key", "justification")
+                if not isinstance(raw.get(field), str)
+            ]
+            if missing:
+                raise BaselineError(
+                    f"{origin}: entry {idx} missing/invalid fields: {', '.join(missing)}"
+                )
+            if not raw["justification"].strip():
+                raise BaselineError(
+                    f"{origin}: entry {idx} ({raw['rule']} @ {raw['path']}) has an "
+                    f"empty justification — baselines must say why"
+                )
+            entries.append(
+                BaselineEntry(raw["rule"], raw["path"], raw["key"], raw["justification"])
+            )
+        return cls(entries)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "key": entry.key,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding], justification: str) -> "Baseline":
+        """Build a baseline accepting every given finding (``--write-baseline``)."""
+        seen = set()
+        entries = []
+        for finding in findings:
+            ident = (finding.rule, finding.path, finding.stable_key())
+            if ident in seen:
+                continue
+            seen.add(ident)
+            entries.append(BaselineEntry(*ident, justification=justification))
+        return cls(entries)

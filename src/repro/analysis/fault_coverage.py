@@ -1,0 +1,184 @@
+"""Fault-point / obligation coverage checker (rules ``fault.*``).
+
+Cross-file checker keeping three tables consistent:
+
+1. the declared fault-point table (``FAULT_POINTS`` in ``faults/plan.py``),
+2. the production ``poll_fault("...")`` hook sites scattered through the
+   serving/tuning stack, and
+3. the obligation scenarios (``faults/scenarios.py``) that inject faults at
+   those points and assert recovery.
+
+Orphans in any direction fail:
+
+* ``fault.unknown-point`` — a poll/inject/spec site names a point that is
+  not declared (e.g. a point was renamed but a hook site was missed);
+* ``fault.unpolled-point`` — a declared point with no production hook site
+  (dead table entry: nothing can ever fire there);
+* ``fault.uncovered-point`` — a declared point that no obligation scenario
+  injects (the release gate would never exercise its recovery path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import Checker, Project, SourceModule, dotted_name, string_literal
+from .findings import Finding, make_finding
+
+_PLAN_SUFFIX = "faults/plan.py"
+_SCENARIOS_SUFFIX = "faults/scenarios.py"
+
+
+class FaultCoverageChecker(Checker):
+    name = "fault-coverage"
+
+    def __init__(
+        self,
+        points: Optional[Dict[str, str]] = None,
+        plan_suffix: str = _PLAN_SUFFIX,
+        scenarios_suffix: str = _SCENARIOS_SUFFIX,
+    ):
+        self.points = points
+        self.plan_suffix = plan_suffix
+        self.scenarios_suffix = scenarios_suffix
+
+    def check_project(self, project: Project) -> List[Finding]:
+        plan_module = _find(project, self.plan_suffix)
+        points = dict(self.points) if self.points is not None else None
+        plan_line = 0
+        if points is None and plan_module is not None:
+            points, plan_line = _parse_fault_points(plan_module)
+
+        sites = _collect_sites(project)
+        if points is None:
+            if not sites:
+                return []
+            first = sites[0]
+            return [
+                make_finding(
+                    "fault.no-table",
+                    first[0],
+                    first[2],
+                    f"fault poll/inject sites exist but no FAULT_POINTS table was "
+                    f"found (expected in a module ending '{self.plan_suffix}')",
+                    hint="declare the table or point the checker at it",
+                    key="fault.no-table",
+                )
+            ]
+
+        findings: List[Finding] = []
+        declared = set(points)
+        plan_path = plan_module.path if plan_module is not None else self.plan_suffix
+
+        # 1. every referenced point must be declared.
+        for path, point, lineno in sites:
+            if point not in declared:
+                findings.append(
+                    make_finding(
+                        "fault.unknown-point",
+                        path,
+                        lineno,
+                        f"fault point '{point}' is not declared in FAULT_POINTS",
+                        hint=f"declare it in {plan_path} or fix the spelling at the site",
+                        key=f"unknown:{point}",
+                    )
+                )
+
+        # 2. every declared point needs >= 1 production hook site (a site in a
+        #    module outside the faults package itself).
+        production: Set[str] = {
+            point for path, point, _ in sites if "faults/" not in path
+        }
+        # 3. every declared point needs >= 1 obligation scenario injecting it.
+        scenario_module = _find(project, self.scenarios_suffix)
+        covered: Set[str] = set()
+        if scenario_module is not None:
+            covered = {point for _, point, _ in _collect_sites_in(scenario_module)}
+
+        for point in sorted(declared):
+            if point not in production:
+                findings.append(
+                    make_finding(
+                        "fault.unpolled-point",
+                        plan_path,
+                        plan_line,
+                        f"declared fault point '{point}' has no production "
+                        f"poll_fault() hook site",
+                        hint="add the hook at the code it describes, or drop the table entry",
+                        key=f"unpolled:{point}",
+                    )
+                )
+            if scenario_module is not None and point not in covered:
+                findings.append(
+                    make_finding(
+                        "fault.uncovered-point",
+                        scenario_module.path,
+                        0,
+                        f"declared fault point '{point}' appears in no obligation "
+                        f"scenario — the release gate never exercises its recovery",
+                        hint=f"add a scenario injecting '{point}' and bind an obligation to it",
+                        key=f"uncovered:{point}",
+                    )
+                )
+        return findings
+
+
+def _find(project: Project, suffix: str) -> Optional[SourceModule]:
+    for module in project.modules:
+        if module.path.endswith(suffix):
+            return module
+    return None
+
+
+def _parse_fault_points(module: SourceModule) -> Tuple[Optional[Dict[str, str]], int]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "FAULT_POINTS" for t in node.targets):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None, node.lineno
+        table: Dict[str, str] = {}
+        for key_node, value_node in zip(node.value.keys, node.value.values):
+            key = string_literal(key_node) if key_node is not None else None
+            if key is None:
+                continue
+            table[key] = string_literal(value_node) or ""
+        return table, node.lineno
+    return None, 0
+
+
+def _collect_sites(project: Project) -> List[Tuple[str, str, int]]:
+    sites: List[Tuple[str, str, int]] = []
+    for module in project.modules:
+        sites.extend(_collect_sites_in(module))
+    return sites
+
+
+def _collect_sites_in(module: SourceModule) -> List[Tuple[str, str, int]]:
+    """Every (path, point, line) where a fault point string is referenced."""
+    sites: List[Tuple[str, str, int]] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        leaf = name.rsplit(".", 1)[-1]
+        point: Optional[str] = None
+        if leaf in ("poll_fault", "poll") and (
+            leaf == "poll_fault" or name.endswith("faults.poll") or name.endswith("plan.poll")
+        ):
+            if node.args:
+                point = string_literal(node.args[0])
+        elif leaf == "single" and name.endswith("FaultPlan.single"):
+            if node.args:
+                point = string_literal(node.args[0])
+        elif leaf == "FaultSpec":
+            if node.args:
+                point = string_literal(node.args[0])
+            for kw in node.keywords:
+                if kw.arg == "point":
+                    point = string_literal(kw.value)
+        if point is not None:
+            sites.append((module.path, point, node.lineno))
+    return sites

@@ -1,0 +1,70 @@
+"""Finding model for the :mod:`repro.analysis` checkers.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+carry a *stable key* — a line-number-insensitive identifier built from the
+rule id plus whatever the checker deems the violation's identity (usually
+``ClassName.attr`` or a fault-point string).  Baseline entries match on
+``(rule, path, key)`` so a baselined finding survives unrelated edits that
+shift line numbers, but a *new* violation of the same rule elsewhere in the
+file still fails the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    hint: str = ""
+    key: str = ""  # stable identity for baselining; defaults to message
+
+    def stable_key(self) -> str:
+        return self.key or self.message
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.stable_key(),
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced, pre-baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checkers: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=lambda f: (f.path, f.line, f.rule, f.stable_key()))
+
+
+def make_finding(
+    rule: str,
+    path: str,
+    line: int,
+    message: str,
+    *,
+    hint: str = "",
+    key: Optional[str] = None,
+) -> Finding:
+    return Finding(rule=rule, path=path, line=line, message=message, hint=hint, key=key or message)

@@ -1,0 +1,233 @@
+"""Lock-discipline checker (rule ``lock.guarded-attr`` / ``lock.locked-call``).
+
+Enforces the repo's locking convention on attributes declared guarded (see
+:mod:`repro.analysis.guarded`):
+
+* a guarded ``self.<attr>`` may only be read or written
+
+  - lexically inside ``with self.<lock>:`` for the declared lock,
+  - inside a method whose name ends in ``_locked`` (the caller holds the
+    lock — this is the repo's "private helper under lock" convention), or
+  - inside ``__init__`` (the object is not yet published to other threads);
+
+* a call to a ``*_locked`` helper must itself be lexically inside a
+  ``with`` on something lock-like, or come from another ``_locked`` method
+  or ``__init__``.  This is what catches deleting the ``RLock`` guard from
+  ``ScheduleRegistry.record()`` (the PR 8 bug): the ``with self._mutex:``
+  disappears but the ``self._append_locked(...)`` call remains.
+
+Receiver-mode guards (the per-job ``drive_lock``) are checked on any
+variable, but only inside the module that declares the class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .base import Checker, SourceModule, dotted_name
+from .findings import Finding, make_finding
+from .guarded import SEED_GUARDS, GuardedAttr, parse_annotations
+
+#: method names exempt from the lexical-lock requirement.
+_EXEMPT_METHODS = {"__init__"}
+
+_LOCKISH = ("lock", "mutex")
+
+
+def _is_lockish(name: str) -> bool:
+    leaf = name.rsplit(".", 1)[-1].lower()
+    return any(part in leaf for part in _LOCKISH)
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+
+    def __init__(self, guards: Tuple[GuardedAttr, ...] = SEED_GUARDS):
+        self.guards = guards
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        guards = list(self.guards) + parse_annotations(module)
+        by_class: Dict[str, Dict[str, GuardedAttr]] = {}
+        receiver_guards: Dict[str, GuardedAttr] = {}
+        for guard in guards:
+            if guard.mode == "receiver":
+                if guard.module and not module.path.endswith(guard.module):
+                    continue
+                receiver_guards[guard.attr] = guard
+            else:
+                by_class.setdefault(guard.cls, {})[guard.attr] = guard
+
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_guards = by_class.get(node.name, {})
+            # Receiver guards apply inside every class of the declaring
+            # module (the helper that drives a job is not a _Job method),
+            # and the ``*_locked`` call convention applies everywhere, so
+            # classes without guards are still walked.
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    findings.extend(
+                        _check_method(module, node.name, item, class_guards, receiver_guards)
+                    )
+        # module-level functions can still touch receiver-mode attrs and
+        # call ``*_locked`` helpers.
+        for item in module.tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(_check_method(module, "", item, {}, receiver_guards))
+        return findings
+
+
+def _check_method(
+    module: SourceModule,
+    cls_name: str,
+    func: ast.AST,
+    class_guards: Dict[str, GuardedAttr],
+    receiver_guards: Dict[str, GuardedAttr],
+) -> List[Finding]:
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    exempt = func.name in _EXEMPT_METHODS or func.name.endswith("_locked")
+    findings: List[Finding] = []
+    walker = _LockWalker(module, cls_name, func.name, exempt, class_guards, receiver_guards)
+    for stmt in func.body:
+        walker.visit_stmt(stmt)
+    findings.extend(walker.findings)
+    return findings
+
+
+class _LockWalker:
+    """Lexical walk of one method body tracking which locks are held."""
+
+    def __init__(
+        self,
+        module: SourceModule,
+        cls_name: str,
+        method: str,
+        exempt: bool,
+        class_guards: Dict[str, GuardedAttr],
+        receiver_guards: Dict[str, GuardedAttr],
+    ):
+        self.module = module
+        self.cls_name = cls_name
+        self.method = method
+        self.exempt = exempt
+        self.class_guards = class_guards
+        self.receiver_guards = receiver_guards
+        self.held: Set[Tuple[str, str]] = set()  # (receiver, lock attr)
+        self.lockish_depth = 0  # inside any with on a lock-like name
+        self.findings: List[Finding] = []
+        self.reported: Set[Tuple[str, int]] = set()
+
+    # -- walk ------------------------------------------------------------ #
+    # One dispatch covers every node kind (including non-stmt/expr nodes
+    # like excepthandler and comprehension, which hide plenty of attribute
+    # accesses) so nothing escapes the lexical lock tracking.
+    def visit_stmt(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[Tuple[str, str]] = []
+            lockish = 0
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if not name and isinstance(item.context_expr, ast.Call):
+                    name = dotted_name(item.context_expr.func)
+                if "." in name:
+                    receiver, leaf = name.rsplit(".", 1)
+                    acquired.append((receiver, leaf))
+                if name and _is_lockish(name):
+                    lockish = 1
+                self.visit_stmt(item.context_expr)
+            before = set(self.held)
+            self.held.update(acquired)
+            self.lockish_depth += lockish
+            for stmt in node.body:
+                self.visit_stmt(stmt)
+            self.held = before
+            self.lockish_depth -= lockish
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # nested definitions run later, outside this lexical lock scope
+            self._visit_nested(node)
+            return
+        if isinstance(node, ast.Attribute):
+            self._check_attribute(node)
+        elif isinstance(node, ast.Call):
+            self._check_call(node)
+        for child in ast.iter_child_nodes(node):
+            self.visit_stmt(child)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        saved_held, saved_depth = self.held, self.lockish_depth
+        self.held, self.lockish_depth = set(), 0
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for item in body:
+            self.visit_stmt(item)
+        self.held, self.lockish_depth = saved_held, saved_depth
+
+    # -- rules ----------------------------------------------------------- #
+    def _check_attribute(self, node: ast.Attribute) -> None:
+        if not isinstance(node.value, ast.Name):
+            return
+        receiver = node.value.id
+        guard = None
+        if receiver == "self" and node.attr in self.class_guards:
+            guard = self.class_guards[node.attr]
+        elif node.attr in self.receiver_guards:
+            guard = self.receiver_guards[node.attr]
+        if guard is None or self.exempt:
+            return
+        if (receiver, guard.lock) in self.held:
+            return
+        # ``self.finished`` inside _Job methods counts as receiver mode too:
+        # accept the declared lock held on *any* receiver for receiver guards.
+        if guard.mode == "receiver" and any(lock == guard.lock for _, lock in self.held):
+            return
+        marker = (f"{guard.cls}.{guard.attr}", node.lineno)
+        if marker in self.reported:
+            return
+        self.reported.add(marker)
+        self.findings.append(
+            make_finding(
+                "lock.guarded-attr",
+                self.module.path,
+                node.lineno,
+                f"{receiver}.{node.attr} is guarded by {guard.lock} "
+                f"(declared on {guard.cls}) but accessed outside "
+                f"'with {receiver}.{guard.lock}:' in {self._where()}",
+                hint=(
+                    f"wrap the access in 'with {receiver}.{guard.lock}:', move it "
+                    f"into a '*_locked' helper called under the lock, or update the "
+                    f"guarded-attribute registry if the invariant changed"
+                ),
+                key=f"{guard.cls}.{guard.attr}@{self._where()}",
+            )
+        )
+
+    def _check_call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if not name or "." not in name:
+            return
+        receiver, leaf = name.rsplit(".", 1)
+        if not leaf.endswith("_locked"):
+            return
+        if self.exempt or self.lockish_depth > 0:
+            return
+        marker = (name, node.lineno)
+        if marker in self.reported:
+            return
+        self.reported.add(marker)
+        self.findings.append(
+            make_finding(
+                "lock.locked-call",
+                self.module.path,
+                node.lineno,
+                f"call to {name}() outside any lock scope in {self._where()} — "
+                f"'_locked' helpers require the caller to hold the lock",
+                hint=f"wrap the call in the owning lock's 'with' block in {self._where()}",
+                key=f"{name}@{self._where()}",
+            )
+        )
+
+    def _where(self) -> str:
+        return f"{self.cls_name}.{self.method}" if self.cls_name else self.method

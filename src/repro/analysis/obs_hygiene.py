@@ -1,0 +1,147 @@
+"""Obs hygiene checker (rules ``obs.*``).
+
+Keeps metric/span names inside the ``repro-metrics/1`` naming scheme:
+
+* ``obs.dynamic-name`` — the name passed to ``counter`` / ``gauge`` /
+  ``histogram`` / ``span`` / ``obs_span`` / ``trace_event`` must be a string
+  *literal*.  f-strings and computed names explode metric cardinality (one
+  instrument per job fingerprint) and break dashboards; varying data belongs
+  in labels/attributes, not the name.
+* ``obs.bad-name`` — literal names must be dotted lowercase
+  ``subsystem.metric`` (``^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)+$``).
+* ``obs.histogram-name`` — histogram instruments record durations in this
+  repo; their names must end ``_seconds`` so the unit is in the name.
+* ``obs.histogram-units`` — ``<histogram>.observe(x * 1000)`` style
+  millisecond scaling is flagged: observes pass seconds, never ms.
+
+The ``obs/`` package itself is exempt — its wrappers forward caller-supplied
+names by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set
+
+from .base import Checker, SourceModule, dotted_name, string_literal
+from .findings import Finding, make_finding
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+_SPAN_FUNCS = {"span", "obs_span", "trace_event"}
+_MS_FACTORS = (1000, 1000.0, 1e3, 1_000_000, 1e6)
+
+
+class ObsHygieneChecker(Checker):
+    name = "obs-hygiene"
+
+    def __init__(self, exempt_fragment: str = "obs/"):
+        self.exempt_fragment = exempt_fragment
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        if self.exempt_fragment and self.exempt_fragment in module.path:
+            return []
+        findings: List[Finding] = []
+        histogram_bindings: Set[str] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                leaf = dotted_name(node.value.func).rsplit(".", 1)[-1]
+                if leaf == "histogram":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            histogram_bindings.add(target.id)
+            if not isinstance(node, ast.Call):
+                continue
+            leaf = dotted_name(node.func).rsplit(".", 1)[-1]
+            if leaf in _METRIC_FACTORIES or leaf in _SPAN_FUNCS:
+                findings.extend(_check_name(module, node, leaf))
+            elif leaf == "observe":
+                finding = _check_observe(module, node, histogram_bindings)
+                if finding:
+                    findings.append(finding)
+        return findings
+
+
+def _check_name(module: SourceModule, node: ast.Call, leaf: str) -> List[Finding]:
+    if not node.args:
+        return []  # keyword-only or forwarding call; nothing to check
+    name_node = node.args[0]
+    name = string_literal(name_node)
+    if name is None:
+        # allow pure identifier forwarding only for *args splats we cannot
+        # see through; everything computed is a cardinality bomb.
+        return [
+            make_finding(
+                "obs.dynamic-name",
+                module.path,
+                node.lineno,
+                f"{leaf}() name is not a string literal — dynamic metric/span "
+                f"names explode cardinality",
+                hint="use a literal name and put the varying value in a label/attribute",
+                key=f"dynamic:{leaf}@{node.lineno}",
+            )
+        ]
+    findings: List[Finding] = []
+    if not NAME_RE.match(name):
+        findings.append(
+            make_finding(
+                "obs.bad-name",
+                module.path,
+                node.lineno,
+                f"{leaf}() name '{name}' does not match the repro-metrics/1 "
+                f"scheme (dotted lowercase 'subsystem.metric')",
+                hint="rename to e.g. 'service.requests'",
+                key=f"bad-name:{name}",
+            )
+        )
+    if leaf == "histogram" and not name.endswith("_seconds"):
+        findings.append(
+            make_finding(
+                "obs.histogram-name",
+                module.path,
+                node.lineno,
+                f"histogram '{name}' must end '_seconds' — duration histograms "
+                f"carry their unit in the name",
+                hint="rename to '<thing>_seconds' and observe seconds",
+                key=f"histogram-name:{name}",
+            )
+        )
+    return findings
+
+
+def _check_observe(
+    module: SourceModule, node: ast.Call, histogram_bindings: Set[str]
+) -> Optional[Finding]:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or not isinstance(func.value, ast.Name):
+        return None
+    if func.value.id not in histogram_bindings or not node.args:
+        return None
+    if _scales_to_ms(node.args[0]):
+        return make_finding(
+            "obs.histogram-units",
+            module.path,
+            node.lineno,
+            f"{func.value.id}.observe(...) scales by 1000 — histograms record "
+            f"seconds, not milliseconds",
+            hint="drop the ms conversion; pass the raw perf_counter() delta",
+            key=f"units:{func.value.id}",
+        )
+    return None
+
+
+def _scales_to_ms(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, (ast.Mult, ast.Div)):
+            for operand in (sub.left, sub.right):
+                if isinstance(operand, ast.Constant) and operand.value in _MS_FACTORS:
+                    if isinstance(sub.op, ast.Mult) or operand is sub.right:
+                        # x * 1000 or 1000 * x always suspect; x / 1000 converts
+                        # the *other* way (us -> s) and x / 0.001 is unusual
+                        # enough to leave alone.
+                        if isinstance(sub.op, ast.Mult):
+                            return True
+    return False

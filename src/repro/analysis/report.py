@@ -1,0 +1,87 @@
+"""Report rendering for :mod:`repro.analysis` (JSON + human text).
+
+The JSON artifact (``ANALYSIS_report.json``, schema ``repro-analysis/1``)
+is what CI uploads; the human rendering is what the terminal shows.  Both
+carry the same partition: *new* findings (fail the gate), *baselined*
+findings (accepted debt, listed so it stays visible), and *stale* baseline
+entries (debt that got fixed — delete the entry).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .baseline import BaselineEntry
+from .findings import Finding
+
+SCHEMA = "repro-analysis/1"
+DEFAULT_REPORT = "ANALYSIS_report.json"
+
+
+@dataclass
+class Report:
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+    checkers: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+    root: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "root": self.root,
+            "checkers": self.checkers,
+            "files_scanned": self.files_scanned,
+            "ok": self.ok,
+            "counts": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "stale_baseline_entries": len(self.stale),
+            },
+            "findings": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "key": e.key} for e in self.stale
+            ],
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines.append(
+            f"repro analyze: {self.files_scanned} files, "
+            f"{len(self.checkers)} checkers ({', '.join(self.checkers)})"
+        )
+        if self.new:
+            lines.append("")
+            lines.append(f"{len(self.new)} new finding(s):")
+            for finding in self.new:
+                lines.append("  " + finding.render().replace("\n", "\n  "))
+        if self.baselined:
+            lines.append("")
+            lines.append(f"{len(self.baselined)} baselined finding(s) (accepted debt):")
+            for finding in self.baselined:
+                lines.append(f"  {finding.path}: [{finding.rule}] {finding.stable_key()}")
+        if self.stale:
+            lines.append("")
+            lines.append(
+                f"{len(self.stale)} stale baseline entr{'y' if len(self.stale) == 1 else 'ies'} "
+                f"(finding fixed — delete from baseline):"
+            )
+            for entry in self.stale:
+                lines.append(f"  [{entry.rule}] {entry.path} :: {entry.key}")
+        lines.append("")
+        lines.append("OK — no new findings" if self.ok else "FAIL — new findings above")
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Analysis runner + CLI glue (``repro analyze`` / ``python -m repro.analysis``).
+
+``run_analysis`` loads a project, runs every registered checker, applies the
+baseline, and returns a :class:`~repro.analysis.report.Report`.  The CLI exits
+non-zero when any non-baselined finding (or a syntax error) survives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .async_blocking import AsyncBlockingChecker
+from .base import Checker, Project
+from .baseline import DEFAULT_BASELINE, Baseline, BaselineError
+from .fault_coverage import FaultCoverageChecker
+from .findings import Finding
+from .lock_discipline import LockDisciplineChecker
+from .obs_hygiene import ObsHygieneChecker
+from .report import DEFAULT_REPORT, Report
+
+
+def default_checkers() -> List[Checker]:
+    return [
+        LockDisciplineChecker(),
+        AsyncBlockingChecker(),
+        FaultCoverageChecker(),
+        ObsHygieneChecker(),
+    ]
+
+
+def analyze_project(
+    project: Project,
+    checkers: Optional[Sequence[Checker]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    checkers = list(checkers) if checkers is not None else default_checkers()
+    baseline = baseline if baseline is not None else Baseline()
+    findings: List[Finding] = list(project.syntax_errors)
+    for checker in checkers:
+        findings.extend(checker.run(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.stable_key()))
+    new, baselined = baseline.split(findings)
+    return Report(
+        new=new,
+        baselined=baselined,
+        stale=baseline.stale_entries(findings),
+        checkers=[checker.name for checker in checkers],
+        files_scanned=len(project.modules),
+        root=str(project.root or ""),
+    )
+
+
+def run_analysis(
+    root: Path,
+    baseline_path: Optional[Path] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> Report:
+    project = Project.load(Path(root))
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    return analyze_project(project, checkers=checkers, baseline=baseline)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root",
+        default="src",
+        help="directory tree to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline/suppression file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--report",
+        default=DEFAULT_REPORT,
+        help=f"JSON report artifact path (default: {DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit 0 "
+        "(edit in the justification afterwards — entries ship with a "
+        "placeholder that load-time validation accepts but review should not)",
+    )
+
+
+def main_from_args(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    if not root.exists():
+        print(f"repro analyze: root '{root}' does not exist", file=sys.stderr)
+        return 2
+    try:
+        report = run_analysis(root, baseline_path=Path(args.baseline))
+    except BaselineError as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        everything = report.new + report.baselined
+        baseline = Baseline.from_findings(
+            everything, justification="TODO: justify this suppression"
+        )
+        baseline.write(args.baseline)
+        print(
+            f"repro analyze: wrote {len(baseline.entries)} entries to {args.baseline} "
+            f"— replace every TODO justification before committing"
+        )
+        return 0
+    if args.report:
+        report.write(args.report)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="repo-aware static checkers: lock discipline, asyncio "
+        "blocking calls, fault/obligation coverage, obs hygiene",
+    )
+    add_arguments(parser)
+    return main_from_args(parser.parse_args(argv))

@@ -69,6 +69,7 @@ from repro.serving.registry import ScheduleRegistry
 from repro.serving.service import TuningRequest, TuningService
 from repro.caching import cached_lowering
 from repro import obs
+from repro.analysis import runner as analysis_runner
 
 __all__ = ["main", "build_parser"]
 
@@ -382,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--jsonl", action="store_true",
                      help="also print the raw JSONL records to stdout")
 
+    ana = sub.add_parser(
+        "analyze",
+        help="run the repo-aware static checkers (lock discipline, asyncio "
+             "blocking, fault coverage, obs hygiene)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    analysis_runner.add_arguments(ana)
+
     return parser
 
 
@@ -397,7 +407,7 @@ def _resolve_target(name: str):
         known = ", ".join(["cpu", "gpu"] + default_catalog().names())
         print(f"error: unknown target {name!r}; known targets: {known}",
               file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _build_pipeline(args, target, config: HARLConfig):
@@ -415,7 +425,7 @@ def _build_pipeline(args, target, config: HARLConfig):
             except FileNotFoundError:
                 print(f"error: --resume-from {args.resume_from!r} does not exist",
                       file=sys.stderr)
-                raise SystemExit(2)
+                raise SystemExit(2) from None
     measurer = make_measurer(target, config, args.seed, args.num_workers, record_store)
     return measurer, record_store, resume_store
 
@@ -648,7 +658,7 @@ def _parse_listen(listen: str):
     try:
         return host, int(port)
     except ValueError:
-        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+        raise SystemExit(f"--listen port must be an integer, got {port!r}") from None
 
 
 def _cmd_serve_listen(args, service, registry) -> int:
@@ -1071,6 +1081,10 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    return analysis_runner.main_from_args(args)
+
+
 _COMMANDS = {
     "tune-op": _cmd_tune_op,
     "tune-network": _cmd_tune_network,
@@ -1084,6 +1098,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -96,13 +96,14 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         self.set(0)
 
     def snapshot(self) -> float:
-        value = self._value
+        value = self.value
         return int(value) if float(value).is_integer() else value
 
 
@@ -130,13 +131,14 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         self.set(0)
 
     def snapshot(self) -> float:
-        value = self._value
+        value = self.value
         return int(value) if float(value).is_integer() else value
 
 
@@ -191,15 +193,18 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def percentile(self, q: Union[int, float]) -> float:
         """The q-th percentile (0 < q <= 100) from the bucket counts.

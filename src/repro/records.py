@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -336,19 +337,23 @@ class RecordStore:
     def __init__(self, path: Optional[Union[str, Path]] = None, strict: bool = False):
         self.path = Path(path) if path is not None else None
         self.strict = bool(strict)
-        self.skipped_lines = 0
+        # Serialises appends (disk commit + memory append as one atomic step)
+        # against each other and against query snapshots: server worker
+        # threads append to one shared store concurrently.
+        self._lock = threading.Lock()
+        self.skipped_lines = 0  # guarded-by: _lock
         self.truncated_tails = 0
-        self.slow_flushes = 0
-        self.flush_failures = 0
-        self._measures: List[MeasureRecord] = []
-        self._results: List[TuningRecord] = []
+        self.slow_flushes = 0  # guarded-by: _lock
+        self.flush_failures = 0  # guarded-by: _lock
+        self._measures: List[MeasureRecord] = []  # guarded-by: _lock
+        self._results: List[TuningRecord] = []  # guarded-by: _lock
         self._fh: Optional[IO[str]] = None
         if self.path is not None and self.path.exists():
             # A run killed mid-append leaves a torn final line; truncate it so
             # this process never appends onto a partial write.
             if repair_torn_tail(self.path, label="record store"):
                 self.truncated_tails += 1
-            self._load_lines(self.path.read_text())
+            self._load_lines_locked(self.path.read_text())
 
     # ------------------------------------------------------------------ #
     # loading
@@ -361,7 +366,8 @@ class RecordStore:
             raise FileNotFoundError(f"record store {path} does not exist")
         return cls(path, strict=strict)
 
-    def _load_lines(self, text: str) -> None:
+    def _load_lines_locked(self, text: str) -> None:
+        # Caller holds _lock (or the store is not yet published: __init__).
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
@@ -385,8 +391,11 @@ class RecordStore:
     # ------------------------------------------------------------------ #
     # appending
     # ------------------------------------------------------------------ #
-    def _write_line(self, payload: dict) -> None:
+    def _write_line_locked(self, payload: dict) -> None:
         """Durably append one line, keeping the log well-formed on failure.
+
+        Caller holds ``_lock``: the seek/tell/write/flush/rollback sequence
+        below assumes no concurrent append moves the file position.
 
         A flush that fails (e.g. ENOSPC) may have written a partial line; the
         log is rolled back to its pre-append length before the error is
@@ -444,15 +453,17 @@ class RecordStore:
         with memory and file still agreeing (the record simply is not
         committed), so callers can retry without double counting.
         """
-        self._write_line({"kind": "measure", **record.to_dict()})
-        self._measures.append(record)
+        with self._lock:
+            self._write_line_locked({"kind": "measure", **record.to_dict()})
+            self._measures.append(record)
 
     def append_result(self, record: Union[TuningRecord, TuningResult]) -> None:
         """Append one final tuning result (converted from a result if needed)."""
         if isinstance(record, TuningResult):
             record = result_to_record(record)
-        self._write_line({"kind": "result", **record.to_dict()})
-        self._results.append(record)
+        with self._lock:
+            self._write_line_locked({"kind": "result", **record.to_dict()})
+            self._results.append(record)
 
     def record_measure(self, result, scheduler: str = "") -> None:
         """Append a live :class:`~repro.hardware.measurer.MeasureResult`.
@@ -481,9 +492,10 @@ class RecordStore:
     # ------------------------------------------------------------------ #
     def measures(self, workload: Optional[str] = None) -> List[MeasureRecord]:
         """All measurement records, optionally filtered to one workload."""
-        if workload is None:
-            return list(self._measures)
-        return [m for m in self._measures if m.workload == workload]
+        with self._lock:
+            if workload is None:
+                return list(self._measures)
+            return [m for m in self._measures if m.workload == workload]
 
     @staticmethod
     def _matches(record, fingerprint: str, name: str) -> bool:
@@ -499,23 +511,27 @@ class RecordStore:
         written before fingerprints existed fall back to name matching.
         """
         fingerprint = structural_fingerprint(dag)
-        return [m for m in self._measures if self._matches(m, fingerprint, dag.name)]
+        with self._lock:
+            return [m for m in self._measures if self._matches(m, fingerprint, dag.name)]
 
     def results_for(self, dag: ComputeDAG) -> List[TuningRecord]:
         """Final results of one workload, matched by canonical fingerprint."""
         fingerprint = structural_fingerprint(dag)
-        return [r for r in self._results if self._matches(r, fingerprint, dag.name)]
+        with self._lock:
+            return [r for r in self._results if self._matches(r, fingerprint, dag.name)]
 
     def results(self, workload: Optional[str] = None) -> List[TuningRecord]:
         """All final-result records, optionally filtered to one workload."""
-        if workload is None:
-            return list(self._results)
-        return [r for r in self._results if r.workload == workload]
+        with self._lock:
+            if workload is None:
+                return list(self._results)
+            return [r for r in self._results if r.workload == workload]
 
     def workloads(self) -> List[str]:
         """Sorted names of all workloads that appear in the store."""
-        names = {m.workload for m in self._measures}
-        names.update(r.workload for r in self._results)
+        with self._lock:
+            names = {m.workload for m in self._measures}
+            names.update(r.workload for r in self._results)
         return sorted(names)
 
     def best_measure(self, workload: str) -> MeasureRecord:
@@ -532,10 +548,12 @@ class RecordStore:
         return min(candidates) if candidates else float("inf")
 
     def __len__(self) -> int:
-        return len(self._measures) + len(self._results)
+        with self._lock:
+            return len(self._measures) + len(self._results)
 
     def __iter__(self) -> Iterator[MeasureRecord]:
-        return iter(self._measures)
+        with self._lock:
+            return iter(list(self._measures))
 
     # ------------------------------------------------------------------ #
     # replay

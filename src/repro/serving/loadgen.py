@@ -164,8 +164,9 @@ def check_report(report: dict, hit_rate_floor: float = HIT_RATE_FLOOR) -> List[s
     return failures
 
 
-def run_load(host: str, port: int, config: LoadGenConfig = LoadGenConfig()) -> dict:
+def run_load(host: str, port: int, config: Optional[LoadGenConfig] = None) -> dict:
     """Replay the configured traffic; returns the ``repro-loadgen/1`` report."""
+    config = config if config is not None else LoadGenConfig()
     tallies = [_ClientTally() for _ in range(config.clients)]
     began = time.perf_counter()
     threads = [

@@ -227,19 +227,19 @@ class ScheduleRegistry:
         self.root = Path(root) if root is not None else None
         self.num_shards = int(num_shards)
         self.strict = bool(strict)
-        self.skipped_lines = 0
-        self.total_lines = 0
+        self._mutex = threading.RLock()
+        self.skipped_lines = 0  # guarded-by: _mutex
+        self.total_lines = 0  # guarded-by: _mutex
         self.truncated_tails = 0
         self.removed_orphans = 0
-        self._best: Dict[Tuple[str, str], RegistryEntry] = {}
-        self._handles: Dict[int, IO[str]] = {}
-        self._mutex = threading.RLock()
+        self._best: Dict[Tuple[str, str], RegistryEntry] = {}  # guarded-by: _mutex
+        self._handles: Dict[int, IO[str]] = {}  # guarded-by: _mutex
         if self.root is not None and self.root.exists():
             self.removed_orphans = self._remove_orphan_tmps()
             # Glob rather than range(num_shards): a registry written with a
             # different shard count must still load every entry.
             for path in sorted(self.root.glob("shard-*.jsonl")):
-                self._load_lines(path)
+                self._load_lines_locked(path)
 
     # ------------------------------------------------------------------ #
     # storage
@@ -269,7 +269,8 @@ class ScheduleRegistry:
             removed += 1
         return removed
 
-    def _load_lines(self, path: Path) -> None:
+    def _load_lines_locked(self, path: Path) -> None:
+        # Caller holds _mutex (or the registry is not yet published: __init__).
         began = time.perf_counter()
         # A process killed mid-append leaves a torn final line; truncate it
         # (even under strict — it is an expected crash artifact, not data
@@ -282,7 +283,7 @@ class ScheduleRegistry:
                 continue
             self.total_lines += 1
             try:
-                self._absorb(RegistryEntry.from_dict(json.loads(line)))
+                self._absorb_locked(RegistryEntry.from_dict(json.loads(line)))
             except (ValueError, KeyError, TypeError) as exc:
                 if self.strict:
                     raise ValueError(
@@ -291,15 +292,20 @@ class ScheduleRegistry:
                 self.skipped_lines += 1
         _SHARD_LOAD.observe(time.perf_counter() - began)
 
-    def _absorb(self, entry: RegistryEntry) -> bool:
-        """Fold an entry into the in-memory best map (no disk write)."""
+    def _absorb_locked(self, entry: RegistryEntry) -> bool:
+        """Fold an entry into the in-memory best map (no disk write).
+
+        Caller holds ``_mutex``.
+        """
         current = self._best.get(entry.key)
         if current is None or entry.latency < current.latency:
             self._best[entry.key] = entry
             return True
         return False
 
-    def _append(self, entry: RegistryEntry) -> None:
+    def _append_locked(self, entry: RegistryEntry) -> None:
+        # Caller holds _mutex: the get-or-open handle dance and the
+        # write+flush+count must not interleave with another appender.
         if self.root is None:
             return
         began = time.perf_counter()
@@ -338,9 +344,9 @@ class ScheduleRegistry:
         # between them could absorb a worse entry over the unappended best,
         # or append a line the best map never saw.
         with self._mutex:
-            accepted = self._absorb(entry)
+            accepted = self._absorb_locked(entry)
             if accepted:
-                self._append(entry)
+                self._append_locked(entry)
         return accepted
 
     def record_result(
@@ -808,7 +814,8 @@ class ScheduleRegistry:
                     raise ValueError(
                         f"corrupted registry entry at {path}:{lineno}: {exc}"
                     ) from exc
-                self.skipped_lines += 1
+                with self._mutex:
+                    self.skipped_lines += 1
                 continue
             if source:
                 entry = replace(entry, source=source)
@@ -828,12 +835,13 @@ class ScheduleRegistry:
         began = time.perf_counter()
         with self._mutex:
             with obs_span("registry.compact", entries=len(self._best)) as compact_span:
-                removed = self._compact_inner()
+                removed = self._compact_inner_locked()
                 compact_span.annotate(removed=removed)
         _COMPACT.observe(time.perf_counter() - began)
         return removed
 
-    def _compact_inner(self) -> int:
+    def _compact_inner_locked(self) -> int:
+        # Caller holds _mutex for the whole rewrite.
         self.close()
         by_shard: Dict[int, List[RegistryEntry]] = {}
         for entry in self.entries():

@@ -164,11 +164,14 @@ class ServingServer:
         self.timeouts = 0
         self.dropped = 0
         self._buckets: Dict[str, _TokenBucket] = {}
-        self._quota_lock = threading.Lock()  # settled from worker threads
+        # Loop-confined admission state: _quota_used and _inflight are only
+        # ever touched on the event-loop thread.  Workers report completions
+        # via loop.call_soon_threadsafe (see _worker_loop), so no threading
+        # lock is held inside async handlers — a blocking lock there would
+        # park the whole loop, not just one task.
         self._quota_used: Dict[str, int] = {}
         self._dags: Dict[Tuple[str, int], object] = {}
         self._slots = threading.BoundedSemaphore(max(self.config.max_inflight, 1))
-        self._inflight_lock = threading.Lock()  # loop increments, workers decrement
         self._inflight = 0
         self._work: "queue.Queue" = queue.Queue()
         self._workers: list = []
@@ -393,18 +396,19 @@ class ServingServer:
                 )
 
         # 2. Trial quota (reserve now, settle to actual consumption later).
+        # Loop-confined: no await between the read and the write, so the
+        # check-and-reserve is atomic without any lock.
         if self.config.quota > 0:
-            with self._quota_lock:
-                used = self._quota_used.get(tenant, 0)
-                if used + trials > self.config.quota:
-                    self.quota_rejected += 1
-                    _QUOTA_REJECTED.inc()
-                    return self._error(
-                        request_id, "quota_exceeded",
-                        f"tenant {tenant!r} has {self.config.quota - used} of "
-                        f"{self.config.quota} trials left; requested {trials}",
-                    )
-                self._quota_used[tenant] = used + trials
+            used = self._quota_used.get(tenant, 0)
+            if used + trials > self.config.quota:
+                self.quota_rejected += 1
+                _QUOTA_REJECTED.inc()
+                return self._error(
+                    request_id, "quota_exceeded",
+                    f"tenant {tenant!r} has {self.config.quota - used} of "
+                    f"{self.config.quota} trials left; requested {trials}",
+                )
+            self._quota_used[tenant] = used + trials
 
         fingerprint = structural_fingerprint(dag)
         entry = None
@@ -424,9 +428,8 @@ class ServingServer:
 
         self.accepted += 1
         _ACCEPTED.inc()
-        with self._inflight_lock:
-            self._inflight += 1
-            _QUEUE_DEPTH.set(self._inflight)
+        self._inflight += 1
+        _QUEUE_DEPTH.set(self._inflight)
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self._work.put((dag, trials, tenant, force_tune, future,
                         asyncio.get_running_loop()))
@@ -493,12 +496,31 @@ class ServingServer:
         )
 
     def _settle_quota(self, tenant: str, reserved: int, used: int) -> None:
-        """Release the reserved-but-unused part of a tenant's quota."""
+        """Release the reserved-but-unused part of a tenant's quota.
+
+        Loop-confined: only ever called on the event-loop thread (inline from
+        the fast/shed paths, or via the completion callback workers post).
+        """
         if self.config.quota > 0 and reserved > used:
-            with self._quota_lock:
-                self._quota_used[tenant] = max(
-                    self._quota_used.get(tenant, 0) - (reserved - used), 0
-                )
+            self._quota_used[tenant] = max(
+                self._quota_used.get(tenant, 0) - (reserved - used), 0
+            )
+
+    def _complete_request(self, tenant: str, reserved: int, future, payload) -> None:
+        """Loop-confined completion of one admitted request.
+
+        Posted by workers via ``call_soon_threadsafe``: drops the inflight
+        count, settles the tenant's quota to actual consumption, and resolves
+        the handler's future — all on the loop thread, so none of the state
+        it touches needs a lock.  Quota is only settled when the backend
+        produced a real result (``trials_used`` present): an exception or a
+        dropped connection keeps the reservation, exactly as before.
+        """
+        self._inflight -= 1
+        _QUEUE_DEPTH.set(self._inflight)
+        if isinstance(payload, dict) and "trials_used" in payload:
+            self._settle_quota(tenant, reserved=reserved, used=int(payload["trials_used"]))
+        _resolve(future, payload)
 
     # ------------------------------------------------------------------ #
     # worker pool (threads)
@@ -511,15 +533,14 @@ class ServingServer:
             dag, trials, tenant, force_tune, future, loop = item
             try:
                 payload = self._drive(dag, trials, tenant, force_tune)
-            except Exception as exc:  # noqa: BLE001 - resolved as a wire error
+            except Exception as exc:  # resolved as a wire error
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
             finally:
-                with self._inflight_lock:
-                    self._inflight -= 1
-                    _QUEUE_DEPTH.set(self._inflight)
                 self._slots.release()
             try:
-                loop.call_soon_threadsafe(_resolve, future, payload)
+                loop.call_soon_threadsafe(
+                    self._complete_request, tenant, trials, future, payload
+                )
             except RuntimeError:
                 pass  # loop shut down while we were tuning
 
@@ -542,7 +563,8 @@ class ServingServer:
                 self.service.finish(handle)
             result = handle.result
             job_span.annotate(source=handle.source, trials=result.trials_used)
-        self._settle_quota(tenant, reserved=trials, used=result.trials_used)
+        # Quota settling happens loop-side in _complete_request, keyed off the
+        # trials_used field below; workers never touch admission state.
         payload = {
             "workload": result.workload,
             "latency": result.best_latency,
@@ -556,7 +578,11 @@ class ServingServer:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Server + service counters, as served by the ``stats`` method."""
+        """Server + service counters, as served by the ``stats`` method.
+
+        Counters are loop-confined ints; reading them from another thread
+        (the CLI does, after shutdown) yields a GIL-atomic snapshot.
+        """
         return {
             "requests": self.requests,
             "accepted": self.accepted,

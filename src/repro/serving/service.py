@@ -111,13 +111,13 @@ class _Job:
         self.dag = request.dag
         self.scheduler = scheduler
         self.n_trials = int(request.n_trials)
-        self.trials_used = 0
+        self.trials_used = 0  # guarded-by: drive_lock
         # Exactly one round may run per job at a time: concurrent
         # run()/advance() drivers serialize here, and the budget is
         # recomputed under the lock so two drivers can never both pass the
         # remaining-trials check and double-drive the job.
         self.drive_lock = threading.Lock()
-        self.finished = False
+        self.finished = False  # guarded-by: drive_lock
         self.handles: List[JobHandle] = []
         self.tenants: List[str] = []
         self.state = SubgraphState(
@@ -196,14 +196,14 @@ class TuningService:
         self.max_warm_start = int(max_warm_start)
         self.catalog = catalog
         self._lock = threading.Lock()
-        self._jobs: Dict[Tuple[str, str], _Job] = {}
-        self._order: List[Tuple[str, str]] = []  # FIFO tie-break for allocation
-        self._transfer_donors: Dict[str, List[str]] = {}  # fingerprint -> donor targets
-        self._warm_start_donors: Dict[str, List[str]] = {}  # fingerprint -> donor workloads
-        self.jobs_created = 0
-        self.registry_hits = 0
-        self.coalesced_requests = 0
-        self.aborted_jobs = 0
+        self._jobs: Dict[Tuple[str, str], _Job] = {}  # guarded-by: _lock
+        self._order: List[Tuple[str, str]] = []  # guarded-by: _lock (FIFO tie-break)
+        self._transfer_donors: Dict[str, List[str]] = {}  # guarded-by: _lock
+        self._warm_start_donors: Dict[str, List[str]] = {}  # guarded-by: _lock
+        self.jobs_created = 0  # guarded-by: _lock
+        self.registry_hits = 0  # guarded-by: _lock
+        self.coalesced_requests = 0  # guarded-by: _lock
+        self.aborted_jobs = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # job construction
@@ -426,7 +426,7 @@ class TuningService:
             if budget <= 0:
                 # Genuine exhaustion: another driver spent the last trials
                 # while we waited on the lock.
-                self._finish_job(job)
+                self._finish_job_locked(job)
                 return 0
             with obs_span(
                 "service.round", job=job.key[0][:12], workload=job.dag.name,
@@ -437,7 +437,7 @@ class TuningService:
                 except InjectedCrash:
                     raise
                 except Exception as exc:
-                    self._abort_job(job, exc)
+                    self._abort_job_locked(job, exc)
                     raise
                 job.trials_used += spent
                 job.state.record(job.scheduler.measurer.best_latency(job.dag.name))
@@ -448,13 +448,14 @@ class TuningService:
                         f"crash between advance and finish of job {job.key[0][:12]}"
                     )
                 if job.trials_used >= job.n_trials or spent == 0:
-                    self._finish_job(job)
+                    self._finish_job_locked(job)
         return spent
 
-    def _abort_job(self, job: _Job, exc: BaseException) -> None:
+    def _abort_job_locked(self, job: _Job, exc: BaseException) -> None:
         """Tear a failed job down without deadlocking its coalesced waiters.
 
-        Every handle resolves with the job's best-so-far (when the scheduler
+        Caller holds ``job.drive_lock``.  Every handle resolves with the
+        job's best-so-far (when the scheduler
         can still finalize) or an explicit error result, the error is noted in
         ``extras["error"]``, and the job leaves the in-flight table so a
         resubmission starts fresh.
@@ -547,12 +548,13 @@ class TuningService:
         trace_event("service.recovered", accepted=accepted, workloads=len(best))
         return accepted
 
-    def _finish_job(self, job: _Job) -> None:
+    def _finish_job_locked(self, job: _Job) -> None:
+        # Caller holds job.drive_lock: finishing must not race another round.
         with obs_span("service.finish", job=job.key[0][:12], workload=job.dag.name):
-            self._finish_job_inner(job)
+            self._finish_job_inner_locked(job)
         _JOBS_FINISHED.inc()
 
-    def _finish_job_inner(self, job: _Job) -> None:
+    def _finish_job_inner_locked(self, job: _Job) -> None:
         job.finished = True
         result = job.scheduler.finalize(job.dag)
         result.extras["fingerprint"] = job.key[0]
@@ -625,7 +627,7 @@ class TuningService:
                 # Wait out any in-flight round, then finish exactly once.
                 with job.drive_lock:
                     if not job.finished:
-                        self._finish_job(job)
+                        self._finish_job_locked(job)
         if handle.result is None:
             raise ValueError(
                 "finish() got a handle this service does not own "

@@ -1,0 +1,117 @@
+"""Positive/negative fixtures for the asyncio blocking-call checker."""
+
+from repro.analysis import Project
+from repro.analysis.async_blocking import AsyncBlockingChecker
+
+
+def run(source: str, path: str = "server.py"):
+    project = Project.from_sources({path: source})
+    return AsyncBlockingChecker().run(project)
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_async_def_is_flagged(self):
+        findings = run(
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+        assert findings[0].line == 3
+
+    def test_asyncio_sleep_is_clean(self):
+        findings = run(
+            "import asyncio\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(1)\n"
+        )
+        assert findings == []
+
+    def test_time_sleep_in_sync_def_is_clean(self):
+        findings = run(
+            "import time\n"
+            "def worker():\n"
+            "    time.sleep(1)\n"
+        )
+        assert findings == []
+
+    def test_open_in_async_def_is_flagged(self):
+        findings = run(
+            "async def handler(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert any(f.rule == "async.blocking-call" for f in findings)
+
+    def test_path_read_text_is_flagged(self):
+        findings = run(
+            "async def handler(path):\n"
+            "    return path.read_text()\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+
+    def test_nested_sync_def_body_is_not_the_event_loop(self):
+        # A sync helper defined inside an async handler runs wherever it is
+        # called (typically a worker thread), so its body is exempt.
+        findings = run(
+            "import time\n"
+            "async def handler(loop):\n"
+            "    def blocking_part():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, blocking_part)\n"
+        )
+        assert findings == []
+
+
+class TestLocksAndSockets:
+    def test_sync_lock_acquire_is_flagged(self):
+        findings = run(
+            "async def handler(self):\n"
+            "    self._lock.acquire()\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+
+    def test_nonblocking_acquire_is_clean(self):
+        findings = run(
+            "async def handler(self):\n"
+            "    if not self._lock.acquire(blocking=False):\n"
+            "        return None\n"
+        )
+        assert findings == []
+
+    def test_sync_with_lock_is_flagged(self):
+        findings = run(
+            "async def handler(self):\n"
+            "    with self._quota_lock:\n"
+            "        self._quota -= 1\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+
+    def test_non_lock_context_manager_is_clean(self):
+        findings = run(
+            "async def handler(self):\n"
+            "    with self._span_factory():\n"
+            "        pass\n"
+        )
+        assert findings == []
+
+    def test_socket_recv_is_flagged(self):
+        findings = run(
+            "async def handler(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+
+    def test_queue_get_is_flagged(self):
+        findings = run(
+            "async def handler(queue):\n"
+            "    return queue.get()\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]
+
+    def test_direct_service_call_is_flagged(self):
+        findings = run(
+            "async def handler(service, req):\n"
+            "    return service.submit(req)\n"
+        )
+        assert [f.rule for f in findings] == ["async.blocking-call"]

@@ -1,0 +1,169 @@
+"""Baseline round-trip, validation, and CLI exit-code coverage."""
+
+import json
+
+import pytest
+
+from repro.analysis import Project, analyze_project
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.findings import make_finding
+from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.report import SCHEMA as REPORT_SCHEMA
+from repro.analysis.runner import main
+
+UNLOCKED = (
+    "class Store:\n"
+    "    def add(self, x):\n"
+    "        self._absorb_locked(x)\n"
+)
+
+
+def finding_for(source=UNLOCKED, path="store.py"):
+    project = Project.from_sources({path: source})
+    findings = LockDisciplineChecker(()).run(project)
+    assert len(findings) == 1
+    return findings[0]
+
+
+class TestRoundTrip:
+    def test_written_baseline_suppresses_the_same_finding(self, tmp_path):
+        finding = finding_for()
+        baseline = Baseline.from_findings([finding], justification="known debt")
+        path = baseline.write(tmp_path / "baseline.json")
+
+        loaded = Baseline.load(path)
+        assert loaded.suppresses(finding)
+        new, baselined = loaded.split([finding])
+        assert new == [] and baselined == [finding]
+
+    def test_matching_is_line_insensitive(self, tmp_path):
+        finding = finding_for()
+        baseline = Baseline.from_findings([finding], justification="known debt")
+        path = baseline.write(tmp_path / "baseline.json")
+        # shift the violation down two lines; the stable key is unchanged
+        moved = finding_for(source="\n\n" + UNLOCKED)
+        assert moved.line != finding.line
+        assert Baseline.load(path).suppresses(moved)
+
+    def test_different_method_is_not_suppressed(self, tmp_path):
+        baseline = Baseline.from_findings([finding_for()], justification="known debt")
+        other = finding_for(
+            source="class Store:\n    def drop(self, x):\n        self._absorb_locked(x)\n"
+        )
+        assert not baseline.suppresses(other)
+
+    def test_missing_file_loads_as_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == []
+
+    def test_stale_entries_are_reported_not_fatal(self):
+        entry = BaselineEntry("lock.guarded-attr", "gone.py", "X.y@Z.w", "fixed since")
+        report = analyze_project(
+            Project.from_sources({"clean.py": "x = 1\n"}),
+            checkers=[LockDisciplineChecker(())],
+            baseline=Baseline([entry]),
+        )
+        assert report.ok
+        assert report.stale == [entry]
+
+
+class TestValidation:
+    def test_empty_justification_is_rejected(self):
+        payload = {
+            "schema": "repro-analysis-baseline/1",
+            "entries": [
+                {"rule": "r", "path": "p", "key": "k", "justification": "   "}
+            ],
+        }
+        with pytest.raises(BaselineError, match="justification"):
+            Baseline.from_dict(payload)
+
+    def test_missing_field_is_rejected(self):
+        payload = {
+            "schema": "repro-analysis-baseline/1",
+            "entries": [{"rule": "r", "path": "p", "justification": "y"}],
+        }
+        with pytest.raises(BaselineError, match="key"):
+            Baseline.from_dict(payload)
+
+    def test_wrong_schema_is_rejected(self):
+        with pytest.raises(BaselineError, match="schema"):
+            Baseline.from_dict({"schema": "something-else/9", "entries": []})
+
+    def test_corrupt_json_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_from_findings_dedupes_identical_keys(self):
+        finding = make_finding("r", "p.py", 3, "msg", key="k")
+        twin = make_finding("r", "p.py", 9, "other msg", key="k")
+        baseline = Baseline.from_findings([finding, twin], justification="j")
+        assert len(baseline.entries) == 1
+
+
+class TestCliExitCodes:
+    def write_tree(self, tmp_path, source):
+        root = tmp_path / "src"
+        root.mkdir()
+        (root / "store.py").write_text(source, encoding="utf-8")
+        return root
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = self.write_tree(tmp_path, "x = 1\n")
+        report = tmp_path / "report.json"
+        code = main(
+            ["--root", str(root), "--baseline", str(tmp_path / "b.json"),
+             "--report", str(report)]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["ok"] is True
+        assert "OK — no new findings" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_writes_report(self, tmp_path, capsys):
+        root = self.write_tree(tmp_path, UNLOCKED)
+        report = tmp_path / "report.json"
+        code = main(
+            ["--root", str(root), "--baseline", str(tmp_path / "b.json"),
+             "--report", str(report)]
+        )
+        assert code == 1
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["ok"] is False
+        assert payload["counts"]["new"] == 1
+        assert payload["findings"][0]["rule"] == "lock.locked-call"
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_write_baseline_then_rerun_is_green(self, tmp_path, capsys):
+        root = self.write_tree(tmp_path, UNLOCKED)
+        baseline = tmp_path / "b.json"
+        args = ["--root", str(root), "--baseline", str(baseline),
+                "--report", str(tmp_path / "report.json")]
+        assert main(args + ["--write-baseline"]) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["entries"][0]["justification"].startswith("TODO")
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "baselined finding(s)" in capsys.readouterr().out
+
+    def test_syntax_error_fails_the_gate(self, tmp_path):
+        root = self.write_tree(tmp_path, "def broken(:\n")
+        code = main(
+            ["--root", str(root), "--baseline", str(tmp_path / "b.json"),
+             "--report", str(tmp_path / "report.json")]
+        )
+        assert code == 1
+
+    def test_missing_root_exits_two(self, tmp_path):
+        code = main(["--root", str(tmp_path / "absent")])
+        assert code == 2
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        root = self.write_tree(tmp_path, "x = 1\n")
+        bad = tmp_path / "b.json"
+        bad.write_text('{"schema": "wrong/1"}', encoding="utf-8")
+        code = main(["--root", str(root), "--baseline", str(bad)])
+        assert code == 2

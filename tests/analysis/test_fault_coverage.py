@@ -1,0 +1,102 @@
+"""Positive/negative fixtures for the fault/obligation coverage checker."""
+
+from pathlib import Path
+
+from repro.analysis import Project
+from repro.analysis.fault_coverage import FaultCoverageChecker
+
+PLAN = (
+    'FAULT_POINTS = {\n'
+    '    "store.flush": "flush of the record store",\n'
+    '    "service.advance": "one tuning round",\n'
+    '}\n'
+)
+
+SCENARIOS = (
+    'from repro.faults.plan import FaultPlan\n'
+    'SCENARIOS = [\n'
+    '    FaultPlan.single("store.flush"),\n'
+    '    FaultPlan.single("service.advance"),\n'
+    ']\n'
+)
+
+SERVICE = (
+    'def advance(self):\n'
+    '    poll_fault("service.advance", detail="round")\n'
+)
+
+STORE = (
+    'def flush(self):\n'
+    '    poll_fault("store.flush")\n'
+)
+
+
+def run(sources):
+    project = Project.from_sources(sources)
+    return FaultCoverageChecker(
+        plan_suffix="faults/plan.py", scenarios_suffix="faults/scenarios.py"
+    ).run(project)
+
+
+def full_tree(**overrides):
+    sources = {
+        "repro/faults/plan.py": PLAN,
+        "repro/faults/scenarios.py": SCENARIOS,
+        "repro/serving/service.py": SERVICE,
+        "repro/records.py": STORE,
+    }
+    sources.update(overrides)
+    return sources
+
+
+class TestFaultCoverage:
+    def test_covered_tree_is_clean(self):
+        assert run(full_tree()) == []
+
+    def test_unknown_point_at_a_poll_site_is_flagged(self):
+        findings = run(full_tree(**{
+            "repro/records.py": 'def flush(self):\n    poll_fault("store.flish")\n',
+        }))
+        rules = sorted(f.rule for f in findings)
+        # the typo'd site is unknown AND the real point is now unpolled
+        assert rules == ["fault.unknown-point", "fault.unpolled-point"]
+
+    def test_renamed_point_without_scenario_update_is_caught(self):
+        # Acceptance criterion: rename a fault point in plan.py without
+        # updating the obligations and CI must go red.
+        renamed = PLAN.replace("service.advance", "service.advance2")
+        findings = run(full_tree(**{"repro/faults/plan.py": renamed}))
+        rules = sorted(f.rule for f in findings)
+        assert "fault.unknown-point" in rules     # stale poll + scenario sites
+        assert "fault.unpolled-point" in rules    # new name never polled
+        assert "fault.uncovered-point" in rules   # new name in no scenario
+
+    def test_point_missing_from_scenarios_is_flagged(self):
+        thin = 'from repro.faults.plan import FaultPlan\nSCENARIOS = [FaultPlan.single("store.flush")]\n'
+        findings = run(full_tree(**{"repro/faults/scenarios.py": thin}))
+        assert [f.rule for f in findings] == ["fault.uncovered-point"]
+        assert "service.advance" in findings[0].message
+
+    def test_point_never_polled_is_flagged(self):
+        findings = run(full_tree(**{"repro/records.py": "def flush(self):\n    pass\n"}))
+        assert [f.rule for f in findings] == ["fault.unpolled-point"]
+
+    def test_scenario_site_counts_as_coverage_not_polling(self):
+        # FaultPlan.single in scenarios.py covers the point but must not
+        # satisfy the "polled somewhere in production code" requirement.
+        findings = run({
+            "repro/faults/plan.py": 'FAULT_POINTS = {"store.flush": "x"}\n',
+            "repro/faults/scenarios.py": 'SCENARIOS = [FaultPlan.single("store.flush")]\n',
+        })
+        assert [f.rule for f in findings] == ["fault.unpolled-point"]
+
+    def test_poll_sites_without_a_table_are_flagged(self):
+        findings = run({
+            "repro/records.py": 'def flush(self):\n    poll_fault("store.flush")\n',
+        })
+        assert [f.rule for f in findings] == ["fault.no-table"]
+
+    def test_real_tree_fault_surface_is_consistent(self):
+        # The shipped plan/scenarios/poll sites must agree with each other.
+        project = Project.load(Path(__file__).resolve().parents[2] / "src")
+        assert FaultCoverageChecker().run(project) == []

@@ -1,0 +1,218 @@
+"""Fixture-driven positive/negative cases for the lock-discipline checker."""
+
+from pathlib import Path
+
+from repro.analysis import Project, analyze_project
+from repro.analysis.guarded import GuardedAttr, parse_annotations
+from repro.analysis.lock_discipline import LockDisciplineChecker
+
+GUARDS = (
+    GuardedAttr("Store", "_items", "_lock"),
+    GuardedAttr("Store", "hits", "_lock"),
+    GuardedAttr("_Job", "finished", "drive_lock", mode="receiver", module="svc.py"),
+)
+
+
+def run(source: str, path: str = "svc.py"):
+    project = Project.from_sources({path: source})
+    return LockDisciplineChecker(GUARDS).run(project)
+
+
+class TestGuardedAttr:
+    def test_unguarded_write_is_flagged(self):
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        self._items.append(x)\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+        assert findings[0].line == 3
+        assert "_lock" in findings[0].message
+
+    def test_access_under_lock_is_clean(self):
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        with self._lock:\n"
+            "            self._items.append(x)\n"
+            "            self.hits += 1\n"
+        )
+        assert findings == []
+
+    def test_lock_scope_ends_with_the_with_block(self):
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        with self._lock:\n"
+            "            self._items.append(x)\n"
+            "        self.hits += 1\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+        assert findings[0].line == 5
+
+    def test_init_is_exempt(self):
+        findings = run(
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._items = []\n"
+            "        self.hits = 0\n"
+        )
+        assert findings == []
+
+    def test_locked_suffix_method_is_exempt(self):
+        findings = run(
+            "class Store:\n"
+            "    def _add_locked(self, x):\n"
+            "        self._items.append(x)\n"
+        )
+        assert findings == []
+
+    def test_wrong_lock_does_not_satisfy_the_guard(self):
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        with self._other_lock:\n"
+            "            self._items.append(x)\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+
+    def test_access_inside_except_handler_is_seen(self):
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        try:\n"
+            "            pass\n"
+            "        except ValueError:\n"
+            "            self.hits += 1\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+
+    def test_access_inside_comprehension_is_seen(self):
+        findings = run(
+            "class Store:\n"
+            "    def snapshot(self):\n"
+            "        return [x for x in self._items]\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+
+    def test_nested_function_does_not_inherit_the_lock_scope(self):
+        # The nested def runs later, when the with-block is long gone.
+        findings = run(
+            "class Store:\n"
+            "    def add(self, x):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                return self._items\n"
+            "            return later\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+
+    def test_other_classes_are_not_checked(self):
+        findings = run(
+            "class Unrelated:\n"
+            "    def add(self, x):\n"
+            "        self._items.append(x)\n"
+        )
+        assert findings == []
+
+
+class TestLockedCallRule:
+    def test_locked_call_outside_lock_is_flagged(self):
+        findings = run(
+            "class Store:\n"
+            "    def record(self, x):\n"
+            "        self._absorb_locked(x)\n"
+        )
+        assert [f.rule for f in findings] == ["lock.locked-call"]
+
+    def test_locked_call_under_lock_is_clean(self):
+        findings = run(
+            "class Store:\n"
+            "    def record(self, x):\n"
+            "        with self._mutex:\n"
+            "            self._absorb_locked(x)\n"
+        )
+        assert findings == []
+
+    def test_locked_call_from_locked_method_is_clean(self):
+        findings = run(
+            "class Store:\n"
+            "    def _outer_locked(self, x):\n"
+            "        self._absorb_locked(x)\n"
+        )
+        assert findings == []
+
+
+class TestReceiverMode:
+    def test_receiver_attr_outside_lock_is_flagged(self):
+        findings = run(
+            "class Driver:\n"
+            "    def drive(self, job):\n"
+            "        job.finished = True\n"
+        )
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+
+    def test_receiver_attr_under_drive_lock_is_clean(self):
+        findings = run(
+            "class Driver:\n"
+            "    def drive(self, job):\n"
+            "        with job.drive_lock:\n"
+            "            job.finished = True\n"
+        )
+        assert findings == []
+
+    def test_receiver_guard_is_scoped_to_its_module(self):
+        findings = run(
+            "class Elsewhere:\n"
+            "    def read(self, result):\n"
+            "        return result.finished\n",
+            path="other.py",
+        )
+        assert findings == []
+
+
+class TestAnnotations:
+    def test_guarded_by_comment_extends_the_registry(self):
+        source = (
+            "class Fresh:\n"
+            "    def __init__(self):\n"
+            "        self._cache = {}  # guarded-by: _cache_lock\n"
+            "    def get(self, k):\n"
+            "        return self._cache.get(k)\n"
+        )
+        project = Project.from_sources({"fresh.py": source})
+        guards = parse_annotations(project.modules[0])
+        assert guards == [GuardedAttr("Fresh", "_cache", "_cache_lock")]
+        findings = LockDisciplineChecker(()).run(project)
+        assert [f.rule for f in findings] == ["lock.guarded-attr"]
+        assert "Fresh.get" in findings[0].message
+
+    def test_registry_record_without_mutex_is_caught(self):
+        # The acceptance criterion: resurrect the PR 8 bug by deleting the
+        # RLock guard from ScheduleRegistry.record() and the checkers must go
+        # red on the locked-helper calls it leaves behind.
+        registry_py = (
+            Path(__file__).resolve().parents[2] / "src/repro/serving/registry.py"
+        )
+        real = registry_py.read_text(encoding="utf-8")
+        broken = real.replace(
+            "        with self._mutex:\n"
+            "            accepted = self._absorb_locked(entry)\n"
+            "            if accepted:\n"
+            "                self._append_locked(entry)\n",
+            "        accepted = self._absorb_locked(entry)\n"
+            "        if accepted:\n"
+            "            self._append_locked(entry)\n",
+        )
+        assert broken != real, "registry.record() no longer matches the fixture"
+        report = analyze_project(
+            Project.from_sources({"repro/serving/registry.py": broken}),
+            checkers=[LockDisciplineChecker()],
+        )
+        assert any(f.rule == "lock.locked-call" for f in report.new)
+        # the shipped source, by contrast, is clean
+        clean = analyze_project(
+            Project.from_sources({"repro/serving/registry.py": real}),
+            checkers=[LockDisciplineChecker()],
+        )
+        assert [f for f in clean.new if f.rule.startswith("lock.")] == []

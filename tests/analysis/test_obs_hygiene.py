@@ -1,0 +1,94 @@
+"""Positive/negative fixtures for the metrics/tracing hygiene checker."""
+
+from repro.analysis import Project
+from repro.analysis.obs_hygiene import ObsHygieneChecker
+
+
+def run(source: str, path: str = "serving/server.py"):
+    project = Project.from_sources({path: source})
+    return ObsHygieneChecker().run(project)
+
+
+class TestNames:
+    def test_literal_dotted_name_is_clean(self):
+        findings = run(
+            "from repro.obs import counter\n"
+            '_REQS = counter("serve.requests_total")\n'
+        )
+        assert findings == []
+
+    def test_dynamic_name_is_flagged(self):
+        findings = run(
+            "from repro.obs import counter\n"
+            "def track(tenant):\n"
+            '    counter(f"serve.requests.{tenant}").inc()\n'
+        )
+        assert [f.rule for f in findings] == ["obs.dynamic-name"]
+
+    def test_concatenated_name_is_flagged(self):
+        findings = run(
+            "from repro.obs import counter\n"
+            'PREFIX = "serve."\n'
+            "def track(kind):\n"
+            "    counter(PREFIX + kind).inc()\n"
+        )
+        assert [f.rule for f in findings] == ["obs.dynamic-name"]
+
+    def test_name_outside_the_scheme_is_flagged(self):
+        findings = run(
+            "from repro.obs import counter\n"
+            '_REQS = counter("ServeRequests")\n'
+        )
+        assert [f.rule for f in findings] == ["obs.bad-name"]
+
+    def test_single_segment_name_is_flagged(self):
+        findings = run(
+            "from repro.obs import gauge\n"
+            '_DEPTH = gauge("depth")\n'
+        )
+        assert [f.rule for f in findings] == ["obs.bad-name"]
+
+    def test_span_names_are_checked_too(self):
+        findings = run(
+            "from repro.obs import span\n"
+            "def work(job_id):\n"
+            '    with span(f"serve.job.{job_id}"):\n'
+            "        pass\n"
+        )
+        assert [f.rule for f in findings] == ["obs.dynamic-name"]
+
+    def test_obs_wrappers_themselves_are_exempt(self):
+        findings = run(
+            "def counter(name):\n"
+            "    return _registry.counter(name)\n",
+            path="obs/metrics.py",
+        )
+        assert findings == []
+
+
+class TestHistograms:
+    def test_seconds_suffix_is_required(self):
+        findings = run(
+            "from repro.obs import histogram\n"
+            '_LAT = histogram("serve.latency_ms")\n'
+        )
+        assert [f.rule for f in findings] == ["obs.histogram-name"]
+
+    def test_observing_a_ms_scaled_value_is_flagged(self):
+        findings = run(
+            "from repro.obs import histogram\n"
+            '_LAT = histogram("serve.latency_seconds")\n'
+            "def done(t0, t1):\n"
+            "    _LAT.observe((t1 - t0) * 1000)\n"
+        )
+        assert [f.rule for f in findings] == ["obs.histogram-units"]
+
+    def test_observing_seconds_is_clean(self):
+        findings = run(
+            "import time\n"
+            "from repro.obs import histogram\n"
+            '_LAT = histogram("serve.latency_seconds")\n'
+            "def done(t0):\n"
+            "    _LAT.observe(time.perf_counter() - t0)\n"
+        )
+        assert findings == []

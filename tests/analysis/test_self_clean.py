@@ -1,0 +1,43 @@
+"""The shipped tree must be clean against the committed baseline.
+
+This is the same gate CI runs (``make analyze``) expressed as a test, so a
+plain ``pytest`` run catches lock/async/fault/obs regressions without
+waiting for the analyze job.
+"""
+
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE
+from repro.analysis.runner import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_has_no_new_findings():
+    report = run_analysis(
+        REPO_ROOT / "src", baseline_path=REPO_ROOT / DEFAULT_BASELINE
+    )
+    assert report.files_scanned > 40, "analyzer saw suspiciously few files"
+    assert report.ok, "new findings:\n" + "\n".join(
+        f.render() for f in report.new
+    )
+
+
+def test_committed_baseline_has_no_stale_entries():
+    report = run_analysis(
+        REPO_ROOT / "src", baseline_path=REPO_ROOT / DEFAULT_BASELINE
+    )
+    assert report.stale == [], (
+        "baseline entries whose findings are fixed — delete them: "
+        + ", ".join(f"{e.rule} @ {e.path}" for e in report.stale)
+    )
+
+
+def test_all_four_checkers_ran():
+    report = run_analysis(REPO_ROOT / "src")
+    assert set(report.checkers) == {
+        "lock-discipline",
+        "asyncio-blocking",
+        "fault-coverage",
+        "obs-hygiene",
+    }

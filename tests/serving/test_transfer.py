@@ -57,7 +57,8 @@ class TestCrossTargetCandidates:
         (key,) = list(registry._best)
         entry = registry._best.pop(key)
         from dataclasses import replace
-        registry._absorb(replace(entry, target="mystery-asic"))
+        with registry._mutex:
+            registry._absorb_locked(replace(entry, target="mystery-asic"))
         assert registry.cross_target_candidates(
             gemm_dag, catalog.get("epyc-7543")
         ) == []
