@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-smoke bench-full serve-demo serve-load \
-	network-smoke network-demo perf perf-gate lint gate analyze
+	network-smoke network-demo perf perf-gate perf-scale lint gate analyze
 
 ## Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -48,6 +48,14 @@ perf:
 ## stage vs the checked-in benchmarks/perf/baseline.json.
 perf-gate: perf
 	$(PYTHON) benchmarks/perf/compare.py BENCH_perf.json benchmarks/perf/baseline.json
+
+## Million-entry registry scale benchmark: synthesises a 1M-entry v1 registry,
+## upgrades it in place, and enforces the machine-independent speedup floors
+## (startup-to-first-hit >= 10x, batched NN scoring >= 5x over the eager /
+## per-entry v1 paths).  Emits the BENCH_scale.json artifact.
+perf-scale:
+	$(PYTHON) benchmarks/perf/scale.py --output BENCH_scale.json --check
+	$(PYTHON) benchmarks/perf/compare.py --scale BENCH_scale.json
 
 ## Closed-loop load benchmark against the asyncio network front end: boots a
 ## server, replays Zipf/burst multi-tenant traffic at it, writes the

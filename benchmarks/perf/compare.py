@@ -99,6 +99,25 @@ def print_table(current: dict, baseline: dict) -> None:
         )
 
 
+#: Machine-independent speedup floors for ``BENCH_scale.json`` (``--scale``).
+#: Kept in sync with ``benchmarks/perf/scale.py``; both sides of each ratio
+#: are timed in one run, so no per-machine baseline applies.
+SCALE_FLOORS = {"startup_to_first_hit": 10.0, "batched_nn": 5.0}
+
+
+def check_scale(report: dict) -> List[str]:
+    """Failures of the registry-scale speedup floors (empty when green)."""
+    failures: List[str] = []
+    speedups = report.get("speedups", {})
+    for name, floor in SCALE_FLOORS.items():
+        value = speedups.get(name)
+        if value is None:
+            failures.append(f"scale speedup {name!r} missing from report")
+        elif value < floor:
+            failures.append(f"{name}: {value}x below the {floor}x floor")
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="fresh BENCH_perf.json")
@@ -122,7 +141,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed fractional slowdown of the tuning stage with "
         "instrumentation armed (default 0.02)",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="treat the positional file as a BENCH_scale.json report and "
+        "enforce the registry-scale speedup floors instead of the "
+        "throughput baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.scale:
+        report = load(args.current)
+        for name, floor in SCALE_FLOORS.items():
+            value = report.get("speedups", {}).get(name)
+            shown = f"{value}x" if value is not None else "missing"
+            print(f"{name:<22} {shown:>10}  (floor {floor}x)")
+        failures = check_scale(report)
+        if failures:
+            for failure in failures:
+                print(f"SCALE FLOOR FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("\nscale gate passed")
+        return 0
 
     current = load(args.current)
     baseline = load(args.baseline)

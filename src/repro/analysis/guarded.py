@@ -48,9 +48,20 @@ class GuardedAttr:
 #: The repo's known shared-state invariants.  Keep this table in sync with the
 #: ``# guarded-by:`` annotations in the source files; the checker unions both.
 SEED_GUARDS: Tuple[GuardedAttr, ...] = (
-    # ScheduleRegistry: every structure the reader/writer paths share.
+    # ScheduleRegistry: every structure the reader/writer paths share —
+    # the lazy shard index, the materialised-entry cache, per-file states,
+    # the shard-handle LRU, the per-target embedding matrices and the
+    # layout/laziness flags.
     GuardedAttr("ScheduleRegistry", "_best", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_index", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_files", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_targets", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_matrices", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_all_indexed", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_native", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_manifest_ok", "_mutex"),
     GuardedAttr("ScheduleRegistry", "_handles", "_mutex"),
+    GuardedAttr("ScheduleRegistry", "_read_handles", "_mutex"),
     GuardedAttr("ScheduleRegistry", "total_lines", "_mutex"),
     GuardedAttr("ScheduleRegistry", "skipped_lines", "_mutex"),
     # RecordStore: appends come from server worker threads concurrently.

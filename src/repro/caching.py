@@ -43,7 +43,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterator, List, TypeVar
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, TypeVar
 
 from repro.obs.metrics import register_collector as _register_collector
 
@@ -143,22 +143,42 @@ class MemoCache:
     beyond ``maxsize``.  While :func:`legacy_hot_path` is active the cache is
     bypassed entirely — the factory runs every time and no counters move —
     so baseline timings see the uncached cost.
+
+    ``on_evict`` (when given) is called with every value the cache lets go
+    of — LRU evictions, ``invalidate``, ``clear``, and the loser of a
+    concurrent-create race — which lets the cache manage values that own a
+    resource (the registry's open shard handles).  Such resource caches pass
+    ``legacy_bypass=False``: bypassing an LRU of *handles* would leak a file
+    descriptor per lookup, and the legacy switch is about measuring
+    memoisation wins, not about breaking resource pooling.
     """
 
-    def __init__(self, name: str, maxsize: int = 1024):
+    def __init__(
+        self,
+        name: str,
+        maxsize: int = 1024,
+        on_evict: Optional[Callable[[object], None]] = None,
+        legacy_bypass: bool = True,
+    ):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self.stats = CacheStats(name)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.Lock()
+        self._on_evict = on_evict
+        self._legacy_bypass = bool(legacy_bypass)
 
     @property
     def name(self) -> str:
         return self.stats.name
 
+    def _dispose(self, value: object) -> None:
+        if self._on_evict is not None:
+            self._on_evict(value)
+
     def get_or_create(self, key: Hashable, factory: Callable[[], T]) -> T:
-        if not hot_path_enabled():
+        if self._legacy_bypass and not hot_path_enabled():
             return factory()
         with self._lock:
             if key in self._entries:
@@ -166,28 +186,39 @@ class MemoCache:
                 self.stats.hits += 1
                 return self._entries[key]  # type: ignore[return-value]
         value = factory()  # computed outside the lock: factories may be slow
+        evicted: List[object] = []
         with self._lock:
             if key not in self._entries:
                 self.stats.misses += 1
                 self._entries[key] = value
                 while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
+                    evicted.append(self._entries.popitem(last=False)[1])
                     self.stats.evictions += 1
             else:
                 # A concurrent thread won the race; serve its object so hits
-                # keep returning one identical instance.
+                # keep returning one identical instance.  The raced-out value
+                # is disposed of — it may own a resource.
                 self.stats.hits += 1
+                evicted.append(value)
                 value = self._entries[key]  # type: ignore[assignment]
-            return value
+        for stale in evicted:  # disposed outside the lock: callbacks may block
+            self._dispose(stale)
+        return value
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it was present."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            value = self._entries.pop(key, None)
+        if value is not None:
+            self._dispose(value)
+        return value is not None
 
     def clear(self) -> None:
         with self._lock:
+            dropped = list(self._entries.values())
             self._entries.clear()
+        for value in dropped:
+            self._dispose(value)
 
     def __len__(self) -> int:
         with self._lock:

@@ -532,16 +532,16 @@ def _cmd_network(args) -> int:
         registry = ScheduleRegistry(args.registry)
         rows, latencies = [], {}
         for sg in network:
-            entry = registry.lookup(sg.dag, target)
+            found = registry.lookup(sg.dag, target, k=1)
+            entry = found.entry
             if entry is not None:
                 latencies[sg.name] = entry.latency
                 rows.append([sg.name, sg.weight, entry.latency * 1e6,
                              entry.scheduler, entry.trials,
                              entry.source or "n/a", entry.donor_target or "-"])
             else:
-                neighbors = registry.nearest(sg.dag, target, k=1)
-                hint = (f"nearest: {neighbors[0][1].workload}"
-                        if neighbors else "no relative registered")
+                hint = (f"nearest: {found.neighbors[0][1].workload}"
+                        if found.neighbors else "no relative registered")
                 rows.append([sg.name, sg.weight, float("inf"), "-", 0, hint, "-"])
         covered = len(latencies)
         print(format_table(
@@ -914,14 +914,15 @@ def _cmd_query(args) -> int:
     fingerprint = structural_fingerprint(dag)
     print(f"workload:    {dag.name}")
     print(f"fingerprint: {fingerprint[:16]}… on {target.name}")
-    exact = registry.get(fingerprint, target)
+    found = registry.lookup(dag, target, k=args.neighbors)
+    exact = found.entry
     if exact is not None:
         print(f"exact hit:   {exact.latency * 1e3:.3f} ms "
               f"({exact.scheduler}, {exact.trials} trials, "
               f"source={exact.source or 'n/a'})")
     else:
         print("exact hit:   none")
-    neighbors = registry.nearest(dag, target, k=args.neighbors)
+    neighbors = found.neighbors
     if neighbors:
         rows = [
             [entry.workload, f"{distance:.3f}", entry.latency * 1e3, entry.scheduler]

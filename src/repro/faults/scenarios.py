@@ -225,7 +225,7 @@ def records_no_double_count(ctx: ScenarioContext) -> None:
         except OSError as exc:
             ctx.require(exc.errno == errno.ENOSPC, f"wrong errno: {exc.errno}")
     ctx.require(
-        len(store.measures()) == 3,
+        len(store.query(kind='measure')) == 3,
         "a failed append still landed in memory (double count on retry)",
     )
     ctx.require(store.flush_failures == 1, "flush failure was not counted")
@@ -234,7 +234,7 @@ def records_no_double_count(ctx: ScenarioContext) -> None:
     store.close()
 
     reloaded = RecordStore.load(path, strict=True)
-    trials = [m.trial_index for m in reloaded.measures()]
+    trials = [m.trial_index for m in reloaded.query(kind='measure')]
     ctx.require(
         trials == [1, 2, 3, 4],
         f"log does not hold each measurement exactly once: {trials}",
@@ -257,7 +257,7 @@ def records_slow_flush_flagged(ctx: ScenarioContext) -> None:
 
     reloaded = RecordStore.load(path, strict=True)
     ctx.require(
-        [m.trial_index for m in reloaded.measures()] == [1, 2, 3],
+        [m.trial_index for m in reloaded.query(kind='measure')] == [1, 2, 3],
         "slow flush corrupted the log",
     )
 
@@ -313,6 +313,23 @@ def compaction_atomic(ctx: ScenarioContext) -> None:
         "re-running compaction after the crash changed the best map",
     )
 
+    # Compaction also publishes the v2 index sidecars: a fresh reload must
+    # answer an exact hit from the index after touching at most its one shard.
+    ctx.require(
+        len(list(root.glob("shard-*.idx.json"))) >= 1,
+        "compaction published no index sidecars",
+    )
+    lazy = _quiet_registry(root, num_shards=2)
+    ctx.require(
+        lazy.lookup("wl-00", "sim-cpu", k=0).entry is not None,
+        "indexed reload lost an entry after the compaction crash",
+    )
+    ctx.require(
+        lazy.indexed_shards <= 1,
+        "an exact lookup after compaction indexed more than its one shard",
+    )
+    lazy.close()
+
 
 def compaction_idempotent(ctx: ScenarioContext) -> None:
     """Compaction converges: a second pass removes nothing and rewrites nothing."""
@@ -364,6 +381,16 @@ def compaction_idempotent(ctx: ScenarioContext) -> None:
         _best_map(_quiet_registry(root, num_shards=2)) == expected,
         "compaction retried after the crash changed the best map",
     )
+
+    # The retried compaction must leave every shard's index sidecar coherent:
+    # a lazy reload answers exactly without a full scan.
+    lazy = _quiet_registry(root, num_shards=2)
+    ctx.require(
+        lazy.lookup("wl-00", "sim-cpu", k=0).entry is not None
+        and lazy.indexed_shards <= 1,
+        "retried compaction left the shard index unusable for lazy lookups",
+    )
+    lazy.close()
 
 
 # --------------------------------------------------------------------- #
@@ -459,11 +486,11 @@ def service_finish_after_crash_recovers(ctx: ScenarioContext) -> None:
     registry = _quiet_registry(registry_root)
     fingerprint = handle.fingerprint
     ctx.require(
-        registry.get(fingerprint, service.target.name) is None,
+        registry.lookup(fingerprint, service.target.name, k=0).entry is None,
         "scenario defect: the crashed job finished before the crash",
     )
     reloaded_store = RecordStore.load(records_path)
-    measures = reloaded_store.measures()
+    measures = reloaded_store.query(kind="measure")
     ctx.require(len(measures) >= 1, "no measurements survived the crash on disk")
 
     revived = TuningService(
@@ -475,7 +502,7 @@ def service_finish_after_crash_recovers(ctx: ScenarioContext) -> None:
     recovered = revived.recover_from_records()
     ctx.require(recovered >= 1, "recovery accepted no registry entries")
 
-    entry = registry.get(fingerprint, revived.target.name)
+    entry = registry.lookup(fingerprint, revived.target.name, k=0).entry
     ctx.require(entry is not None, "recovered registry still misses the workload")
     best_logged = min(m.latency for m in measures if m.fingerprint == fingerprint)
     ctx.require(

@@ -19,10 +19,44 @@ question the stores answer via their ``strict`` policy.
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from pathlib import Path
 
 __all__ = ["repair_torn_tail"]
+
+#: How many bytes of tail to pull in per backwards step while hunting for the
+#: final newline.  A torn line is one JSON object (a few hundred bytes), so
+#: the first chunk almost always suffices; the loop only matters for
+#: pathological single-line files.
+_TAIL_CHUNK = 64 * 1024
+
+_WHITESPACE = b" \t\r\n"
+
+
+def _read_tail(path: Path) -> tuple[int, bytes, int]:
+    """``(size, tail, tail_start)`` where ``tail`` spans the final line.
+
+    Reads backwards in :data:`_TAIL_CHUNK` steps until the buffer contains a
+    newline strictly before the (whitespace-stripped) final line, so repair
+    cost is O(final line), not O(file) — a million-entry shard must not be
+    slurped whole just to check its last line.
+    """
+    with path.open("rb") as fh:
+        size = fh.seek(0, os.SEEK_END)
+        buf = b""
+        pos = size
+        while pos > 0:
+            step = min(_TAIL_CHUNK, pos)
+            pos -= step
+            fh.seek(pos)
+            buf = fh.read(step) + buf
+            stripped = buf.rstrip(_WHITESPACE)
+            if not stripped and pos > 0:
+                continue
+            if stripped.rfind(b"\n") >= 0 or pos == 0:
+                break
+        return size, buf, pos
 
 
 def repair_torn_tail(path: Path, label: str = "JSONL file") -> int:
@@ -35,20 +69,20 @@ def repair_torn_tail(path: Path, label: str = "JSONL file") -> int:
     """
     path = Path(path)
     try:
-        raw = path.read_bytes()
+        size, buf, buf_start = _read_tail(path)
     except FileNotFoundError:
         return 0
-    stripped = raw.rstrip(b" \t\r\n")
+    stripped = buf.rstrip(_WHITESPACE)
     if not stripped:
         return 0
-    start = stripped.rfind(b"\n") + 1
-    tail = stripped[start:]
+    start = buf_start + stripped.rfind(b"\n") + 1
+    tail = stripped[start - buf_start :]
     try:
         json.loads(tail.decode("utf-8", errors="replace"))
         return 0
     except json.JSONDecodeError:
         pass
-    removed = len(raw) - start
+    removed = size - start
     with path.open("rb+") as fh:
         fh.truncate(start)
     warnings.warn(

@@ -26,6 +26,7 @@ import io
 import json
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
@@ -490,13 +491,6 @@ class RecordStore:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def measures(self, workload: Optional[str] = None) -> List[MeasureRecord]:
-        """All measurement records, optionally filtered to one workload."""
-        with self._lock:
-            if workload is None:
-                return list(self._measures)
-            return [m for m in self._measures if m.workload == workload]
-
     @staticmethod
     def _matches(record, fingerprint: str, name: str) -> bool:
         """Structural identity match with a legacy display-name fallback."""
@@ -504,28 +498,124 @@ class RecordStore:
             return record.fingerprint == fingerprint
         return record.workload == name
 
-    def measures_for(self, dag: ComputeDAG) -> List[MeasureRecord]:
-        """Measurements of one workload, matched by canonical fingerprint.
+    def query(
+        self,
+        kind: str = "measure",
+        *,
+        dag: Optional[ComputeDAG] = None,
+        workload: Optional[str] = None,
+        best: bool = False,
+    ):
+        """The one query entry point over the store's records.
 
-        Renamed-but-structurally-identical DAGs share their records; records
-        written before fingerprints existed fall back to name matching.
+        Parameters
+        ----------
+        kind:
+            ``"measure"`` for per-measurement records, ``"result"`` for
+            final tuning results.
+        dag:
+            Filter to one workload by canonical structural fingerprint —
+            renamed-but-structurally-identical DAGs share their records, and
+            records written before fingerprints existed fall back to display-
+            name matching.  Mutually exclusive with ``workload``.
+        workload:
+            Filter by display name only (exact string match).
+        best:
+            Return only the lowest-latency matching record (or ``None`` when
+            nothing matches) instead of the full list.
+
+        Returns
+        -------
+        A list of matching records (newest last), or — with ``best=True`` —
+        the single lowest-latency record or ``None``.
         """
-        fingerprint = structural_fingerprint(dag)
+        if kind not in ("measure", "result"):
+            raise ValueError(
+                f"unknown record kind {kind!r}; expected 'measure' or 'result'"
+            )
+        if dag is not None and workload is not None:
+            raise ValueError("pass either dag= or workload=, not both")
+        fingerprint = structural_fingerprint(dag) if dag is not None else ""
         with self._lock:
-            return [m for m in self._measures if self._matches(m, fingerprint, dag.name)]
+            records = self._measures if kind == "measure" else self._results
+            if dag is not None:
+                matching = [r for r in records if self._matches(r, fingerprint, dag.name)]
+            elif workload is not None:
+                matching = [r for r in records if r.workload == workload]
+            else:
+                matching = list(records)
+        if best:
+            return min(matching, key=lambda r: r.latency) if matching else None
+        return matching
+
+    # -- deprecated accessor shims (all delegate to :meth:`query`) ----- #
+    def measures(self, workload: Optional[str] = None) -> List[MeasureRecord]:
+        """Deprecated: use :meth:`query` (``kind="measure"``)."""
+        warnings.warn(
+            "RecordStore.measures() is deprecated; use query(kind='measure')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(kind="measure", workload=workload)
+
+    def measures_for(self, dag: ComputeDAG) -> List[MeasureRecord]:
+        """Deprecated: use :meth:`query` (``kind="measure", dag=...``)."""
+        warnings.warn(
+            "RecordStore.measures_for() is deprecated; use query(kind='measure', dag=dag)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(kind="measure", dag=dag)
 
     def results_for(self, dag: ComputeDAG) -> List[TuningRecord]:
-        """Final results of one workload, matched by canonical fingerprint."""
-        fingerprint = structural_fingerprint(dag)
-        with self._lock:
-            return [r for r in self._results if self._matches(r, fingerprint, dag.name)]
+        """Deprecated: use :meth:`query` (``kind="result", dag=...``)."""
+        warnings.warn(
+            "RecordStore.results_for() is deprecated; use query(kind='result', dag=dag)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(kind="result", dag=dag)
 
     def results(self, workload: Optional[str] = None) -> List[TuningRecord]:
-        """All final-result records, optionally filtered to one workload."""
-        with self._lock:
-            if workload is None:
-                return list(self._results)
-            return [r for r in self._results if r.workload == workload]
+        """Deprecated: use :meth:`query` (``kind="result"``)."""
+        warnings.warn(
+            "RecordStore.results() is deprecated; use query(kind='result')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(kind="result", workload=workload)
+
+    def best_measure(self, workload: str) -> MeasureRecord:
+        """Deprecated: use :meth:`query` (``kind="measure", best=True``)."""
+        warnings.warn(
+            "RecordStore.best_measure() is deprecated; use "
+            "query(kind='measure', workload=..., best=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        best = self.query(kind="measure", workload=workload, best=True)
+        if best is None:
+            raise KeyError(f"no measurements for workload {workload!r}")
+        return best
+
+    def best_latency(self, workload: str) -> float:
+        """Deprecated: derive from :meth:`query` with ``best=True``.
+
+        Best latency seen for a workload across measures and results.
+        """
+        warnings.warn(
+            "RecordStore.best_latency() is deprecated; use "
+            "query(..., best=True) per record kind",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        candidates = [
+            r.latency
+            for kind in ("measure", "result")
+            for r in (self.query(kind=kind, workload=workload, best=True),)
+            if r is not None
+        ]
+        return min(candidates) if candidates else float("inf")
 
     def workloads(self) -> List[str]:
         """Sorted names of all workloads that appear in the store."""
@@ -534,26 +624,22 @@ class RecordStore:
             names.update(r.workload for r in self._results)
         return sorted(names)
 
-    def best_measure(self, workload: str) -> MeasureRecord:
-        """The lowest-latency measurement of one workload."""
-        matching = self.measures(workload)
-        if not matching:
-            raise KeyError(f"no measurements for workload {workload!r}")
-        return min(matching, key=lambda m: m.latency)
-
-    def best_latency(self, workload: str) -> float:
-        """Best latency seen for a workload across measures and results."""
-        candidates = [m.latency for m in self.measures(workload)]
-        candidates.extend(r.latency for r in self.results(workload))
-        return min(candidates) if candidates else float("inf")
-
     def __len__(self) -> int:
         with self._lock:
             return len(self._measures) + len(self._results)
 
     def __iter__(self) -> Iterator[MeasureRecord]:
-        with self._lock:
-            return iter(list(self._measures))
+        # An index-walk generator instead of a full copy under the lock:
+        # appends are strictly append-only, so positions already yielded stay
+        # valid and each step only holds the lock long enough for one read.
+        index = 0
+        while True:
+            with self._lock:
+                if index >= len(self._measures):
+                    return
+                record = self._measures[index]
+            yield record
+            index += 1
 
     # ------------------------------------------------------------------ #
     # replay
@@ -589,7 +675,7 @@ class RecordStore:
         -------
         The restored schedules, best latency first.
         """
-        matching = sorted(self.measures_for(dag), key=lambda m: m.latency)
+        matching = sorted(self.query(kind="measure", dag=dag), key=lambda m: m.latency)
         if max_schedules is not None:
             matching = matching[:max_schedules]
         schedules: List[Schedule] = []

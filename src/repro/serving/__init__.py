@@ -28,6 +28,7 @@ __all__ = [
     "structural_fingerprint",
     "workload_embedding",
     "embedding_distance",
+    "LookupResult",
     "RegistryEntry",
     "ScheduleRegistry",
     "TransferCandidate",
@@ -47,6 +48,7 @@ _EXPORTS = {
     "structural_fingerprint": "repro.serving.fingerprint",
     "workload_embedding": "repro.serving.fingerprint",
     "embedding_distance": "repro.serving.fingerprint",
+    "LookupResult": "repro.serving.registry",
     "RegistryEntry": "repro.serving.registry",
     "ScheduleRegistry": "repro.serving.registry",
     "TransferCandidate": "repro.serving.registry",
@@ -69,6 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         workload_embedding,
     )
     from repro.serving.registry import (  # noqa: F401
+        LookupResult,
         RegistryEntry,
         ScheduleRegistry,
         TransferCandidate,

@@ -18,18 +18,37 @@ than rewriting the shard, so files grow monotonically until
 :meth:`ScheduleRegistry.compact` rewrites each shard with only the current
 best entry per key (atomically, via temp file + ``os.replace``).
 
+Shard format v2 (``repro-shard/2``) adds a per-shard *index sidecar*
+(``shard-NN.idx.json``) next to each data file: byte offset + length, key,
+latency and embedding of the best line per key, plus the line counters and a
+CRC of the data-file prefix.  A registry directory with a matching
+``registry.json`` manifest loads *lazily*: construction touches no shard, an
+exact :meth:`lookup` indexes only the one shard its key hashes to (one small
+sidecar parse), and entry bodies are materialised on demand with a single
+``seek`` + ``read`` through an LRU cache of open shard handles.  Sidecars
+are advisory: a stale or missing one (crash between data replace and sidecar
+write, a shard torn-tail repair, a v1 directory) falls back to scanning the
+data file, and lines appended after the sidecar was written are absorbed by
+scanning only the tail beyond ``data_bytes``.  v1 directories (no manifest)
+are read transparently — every file is scanned eagerly on first access —
+and upgraded to v2 by :meth:`compact` (or on :meth:`close` after writes).
+
 Reuse model
 -----------
-:meth:`lookup` answers exact structural hits in O(1).  :meth:`nearest` runs a
-nearest-neighbour search over the stored workload embeddings of a target, so
-a *new* workload can borrow the best schedule of its closest registered
-relative; :meth:`warm_start_schedules` packages both into ready-to-measure
+:meth:`lookup` is the single query entry point: it answers the exact
+structural hit, the ``k`` nearest same-target neighbours and (on request)
+ranked cross-target transfer candidates in one :class:`LookupResult`.
+Nearest-neighbour scoring keeps a contiguous per-target NumPy matrix of the
+stored workload embeddings and ranks all candidates in one vectorised pass
+(the legacy per-entry loop remains behind
+:func:`~repro.caching.legacy_hot_path` for A/B measurement).
+:meth:`warm_start_schedules` packages lookup results into ready-to-measure
 :class:`~repro.tensor.schedule.Schedule` objects (tile sizes are re-fitted
 to the new extents when the relative's shape differs).
 
-When a target has no registered entries yet, :meth:`cross_target_candidates`
-falls back *across* targets: donors are ranked by the sum of workload
-embedding distance and hardware :func:`~repro.hardware.catalog.target_distance`
+When a target has no registered entries yet, the transfer search falls back
+*across* targets: donors are ranked by the sum of workload embedding
+distance and hardware :func:`~repro.hardware.catalog.target_distance`
 (so a close cousin device with the exact workload beats a remote device, and
 same-kind donors always beat cross-kind ones), and the borrowed schedule is
 re-fitted to the destination device — tiling depths, innermost tile sizes
@@ -37,19 +56,30 @@ rounded to the destination ``vector_width``, register/L1 working set shrunk
 to its cache capacities, and the unroll depth mapped onto the destination's
 candidate list.  Results recorded after a cross-target warm start carry the
 donor target in their provenance (``RegistryEntry.donor_target``).
+
+Deprecated surface
+------------------
+``get()`` / ``nearest()`` / ``cross_target_candidates()`` survive as thin
+wrappers over :meth:`lookup`'s internals and emit ``DeprecationWarning``;
+new code should call :meth:`lookup`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
+import warnings
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.caching import MemoCache, cached_sketches, hot_path_enabled
 from repro.faults.plan import poll as poll_fault
 from repro.hardware.catalog import default_catalog, target_distance
 from repro.jsonl import repair_torn_tail
@@ -64,9 +94,23 @@ from repro.serving.fingerprint import (
 from repro.tensor.dag import DTYPE_BYTES, ComputeDAG
 from repro.tensor.factors import prime_factors, product
 from repro.tensor.schedule import Schedule
-from repro.caching import cached_sketches
 
-__all__ = ["RegistryEntry", "ScheduleRegistry", "TransferCandidate"]
+__all__ = [
+    "LookupResult",
+    "RegistryEntry",
+    "ScheduleRegistry",
+    "TransferCandidate",
+]
+
+#: Version tag of the per-shard index sidecar (``shard-NN.idx.json``).
+SHARD_INDEX_FORMAT = "repro-shard/2"
+#: Version tag of the registry-level layout manifest (``registry.json``).
+REGISTRY_MANIFEST_FORMAT = "repro-registry/2"
+
+#: How many leading bytes of a data file its sidecar checksums.  Enough to
+#: catch a shard rewritten in place (compaction under a different mapping),
+#: cheap enough to verify on every lazy load.
+_PREFIX_CRC_CAP = 64 * 1024
 
 _LOOKUPS = counter("registry.lookups", "Exact (fingerprint, target) lookups")
 _HITS = counter("registry.hits", "Exact lookups answered from the best map")
@@ -75,7 +119,15 @@ _TRANSFER_LOOKUPS = counter("registry.transfer_lookups", "Warm-start transfer se
 _TRANSFER_CANDIDATES = counter(
     "registry.transfer_candidates", "Warm-start candidates produced"
 )
-_SHARD_LOAD = histogram("registry.shard_load_seconds", help="Per-shard JSONL load time")
+_SHARD_OPENS = counter("registry.shard_opens", "Shard files opened for indexed reads")
+_INDEX_HITS = counter(
+    "registry.index_hits", "Entries materialised via a shard-index seek"
+)
+_INDEX_LOADS = counter("registry.index_loads", "Shard indexes ingested from sidecars")
+_SHARD_LOAD = histogram("registry.shard_load_seconds", help="Per-shard JSONL scan time")
+_INDEX_LOAD = histogram(
+    "registry.index_load_seconds", help="Per-shard index load (sidecar or scan) time"
+)
 _APPEND = histogram("registry.append_seconds", help="Single-entry shard append time")
 _COMPACT = histogram("registry.compact_seconds", help="Full registry compaction time")
 
@@ -155,6 +207,46 @@ class TransferCandidate:
     cross_target: bool = False
 
 
+@dataclass(frozen=True)
+class LookupResult:
+    """Everything one registry query can answer, in one return type.
+
+    ``entry`` is the exact ``(fingerprint, target)`` hit (or ``None``);
+    ``neighbors`` are the ranked same-target relatives as
+    ``(embedding distance, entry)`` pairs; ``transfers`` are the ranked
+    cross-target donors as ``(target distance, entry)`` pairs.  ``source``
+    tags where the best answer came from: ``"exact"``, ``"neighbor"``,
+    ``"transfer"`` or ``"miss"``.
+    """
+
+    fingerprint: str
+    target: str
+    entry: Optional[RegistryEntry]
+    neighbors: Tuple[Tuple[float, RegistryEntry], ...] = ()
+    transfers: Tuple[Tuple[float, RegistryEntry], ...] = ()
+    source: str = "miss"
+
+    @property
+    def best(self) -> Optional[RegistryEntry]:
+        """The single best answer across exact / neighbor / transfer tiers."""
+        if self.entry is not None:
+            return self.entry
+        if self.neighbors:
+            return self.neighbors[0][1]
+        if self.transfers:
+            return self.transfers[0][1]
+        return None
+
+    @property
+    def provenance(self) -> str:
+        """``source`` string of the winning entry (empty on a miss)."""
+        best = self.best
+        return best.source if best is not None else ""
+
+    def __bool__(self) -> bool:
+        return self.source != "miss"
+
+
 def _reshape_reference(reference: Sequence[int], levels: int) -> List[int]:
     """Re-shape a donor tile-size list to a new tiling depth.
 
@@ -190,6 +282,111 @@ def _fit_tile_sizes(extent: int, levels: int, reference: Sequence[int]) -> List[
     return sizes
 
 
+class _IndexEntry:
+    """Light in-memory index record of one key's best on-disk line.
+
+    Holds everything queries rank on (latency, embedding, has-schedule)
+    without the parsed entry body; the body is materialised on demand by a
+    ``seek``/``read`` at ``(path, offset, length)``.  ``offset < 0`` marks an
+    entry that lives only in memory (in-memory registries, or an append that
+    crashed between absorb and write on a dead object).
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "target",
+        "latency",
+        "has_schedule",
+        "embedding",
+        "path",
+        "offset",
+        "length",
+    )
+
+    def __init__(
+        self,
+        fingerprint: str,
+        target: str,
+        latency: float,
+        has_schedule: bool,
+        embedding: Tuple[float, ...],
+        path: Optional[Path] = None,
+        offset: int = -1,
+        length: int = 0,
+    ):
+        self.fingerprint = fingerprint
+        self.target = target
+        self.latency = latency
+        self.has_schedule = has_schedule
+        self.embedding = embedding
+        self.path = path
+        self.offset = offset
+        self.length = length
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.fingerprint, self.target)
+
+
+class _FileState:
+    """Per shard-file bookkeeping: what has been indexed and how far."""
+
+    __slots__ = ("indexed", "data_bytes", "total_lines", "skipped_lines", "dirty")
+
+    def __init__(self) -> None:
+        self.indexed = False
+        self.data_bytes = 0
+        self.total_lines = 0
+        self.skipped_lines = 0
+        #: the in-memory index is ahead of the on-disk sidecar
+        self.dirty = False
+
+
+class _TargetMatrix:
+    """Contiguous embedding matrix of one target's index entries.
+
+    Rows are sorted by fingerprint so a stable row order doubles as the
+    distance tie-break; ``extras`` holds entries without embeddings (they
+    only ever match by exact fingerprint).  ``embeddings`` is ``None`` when
+    the stored embedding dimensions are inconsistent — queries then fall
+    back to the per-entry reference loop (which raises on the mismatch,
+    exactly like the pre-vectorised code).
+    """
+
+    __slots__ = (
+        "rows",
+        "extras",
+        "keys",
+        "fingerprints",
+        "embeddings",
+        "sched_mask",
+        "row_of",
+    )
+
+    def __init__(self, entries: Iterable[_IndexEntry]):
+        pool = list(entries)
+        self.rows = sorted(
+            (ie for ie in pool if ie.embedding), key=lambda ie: ie.fingerprint
+        )
+        self.extras = [ie for ie in pool if not ie.embedding]
+        self.keys = [ie.key for ie in self.rows]
+        self.fingerprints = [ie.fingerprint for ie in self.rows]
+        dims = {len(ie.embedding) for ie in self.rows}
+        if len(dims) == 1:
+            self.embeddings: Optional[np.ndarray] = np.array(
+                [ie.embedding for ie in self.rows], dtype=np.float64
+            )
+            self.sched_mask: Optional[np.ndarray] = np.fromiter(
+                (ie.has_schedule for ie in self.rows),
+                dtype=bool,
+                count=len(self.rows),
+            )
+        else:
+            self.embeddings = None
+            self.sched_mask = None
+        self.row_of = {fp: i for i, fp in enumerate(self.fingerprints)}
+
+
 class ScheduleRegistry:
     """Sharded persistent map (fingerprint, target) → best schedule.
 
@@ -203,17 +400,23 @@ class ScheduleRegistry:
         its fingerprint prefix, so the mapping is stable across processes.
     strict:
         When true, corrupted lines raise at load time instead of being
-        skipped and counted in :attr:`skipped_lines`.
+        skipped and counted in :attr:`skipped_lines`.  Strict registries
+        index every shard eagerly at construction (validation implies
+        reading everything anyway).
+    max_open_shards:
+        Capacity of the LRU cache of open read handles used to materialise
+        entries through the shard index.
 
     Thread safety
     -------------
-    One re-entrant mutex guards the best map, the shard handles and the line
-    counters, so :meth:`record` is atomic per entry (absorb + append commit
-    together) and concurrent writers — racing service drivers, the network
-    front end's worker threads — can never interleave shard writes or lose a
-    best-entry update.  Query methods snapshot under the same lock; the lock
-    is re-entrant so :meth:`merge`/:meth:`import_file` can call
-    :meth:`record` while holding it.
+    One re-entrant mutex guards the index, the best-entry cache, the shard
+    handles and the line counters, so :meth:`record` is atomic per entry
+    (absorb + append commit together) and concurrent writers — racing
+    service drivers, the network front end's worker threads — can never
+    interleave shard writes or lose a best-entry update.  Query methods
+    operate under the same lock; the lock is re-entrant so
+    :meth:`merge`/:meth:`import_file` can call :meth:`record` while holding
+    it.
     """
 
     def __init__(
@@ -221,6 +424,7 @@ class ScheduleRegistry:
         root: Optional[Union[str, Path]] = None,
         num_shards: int = 16,
         strict: bool = False,
+        max_open_shards: int = 64,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -232,17 +436,41 @@ class ScheduleRegistry:
         self.total_lines = 0  # guarded-by: _mutex
         self.truncated_tails = 0
         self.removed_orphans = 0
+        #: authoritative light index: key → best on-disk line
+        self._index: Dict[Tuple[str, str], _IndexEntry] = {}  # guarded-by: _mutex
+        #: materialised-entry cache over ``_index`` (filled on demand)
         self._best: Dict[Tuple[str, str], RegistryEntry] = {}  # guarded-by: _mutex
-        self._handles: Dict[int, IO[str]] = {}  # guarded-by: _mutex
+        self._files: Dict[Path, _FileState] = {}  # guarded-by: _mutex
+        self._targets: set = set()  # guarded-by: _mutex
+        self._matrices: Dict[str, _TargetMatrix] = {}  # guarded-by: _mutex
+        self._all_indexed = False  # guarded-by: _mutex
+        self._native = True  # guarded-by: _mutex
+        self._manifest_ok = False  # guarded-by: _mutex
+        self._handles: Dict[int, IO[bytes]] = {}  # guarded-by: _mutex
+        #: LRU of open read handles; eviction closes the file
+        self._read_handles = MemoCache(  # guarded-by: _mutex
+            "registry.shard_handles",
+            maxsize=max(int(max_open_shards), 1),
+            on_evict=lambda fh: fh.close(),
+            legacy_bypass=False,
+        )
         if self.root is not None and self.root.exists():
             self.removed_orphans = self._remove_orphan_tmps()
-            # Glob rather than range(num_shards): a registry written with a
-            # different shard count must still load every entry.
+            # Torn-tail repair stays eager (it is O(final line) per file):
+            # re-opened shards must never append onto a partial line, and
+            # crash-recovery counters must be correct at construction.
             for path in sorted(self.root.glob("shard-*.jsonl")):
-                self._load_lines_locked(path)
+                if repair_torn_tail(path, label="registry shard"):
+                    self.truncated_tails += 1
+            self._native, self._manifest_ok = self._detect_layout()
+            if self.strict:
+                with self._mutex:
+                    self._ensure_all_indexed_locked()
+        else:
+            self._all_indexed = True
 
     # ------------------------------------------------------------------ #
-    # storage
+    # layout
     # ------------------------------------------------------------------ #
     def _shard_of(self, fingerprint: str) -> int:
         # crc32 keeps the shard mapping stable across processes and total
@@ -253,56 +481,317 @@ class ScheduleRegistry:
         assert self.root is not None
         return self.root / f"shard-{shard:02d}.jsonl"
 
-    def _remove_orphan_tmps(self) -> int:
-        """Delete half-written compaction temp files left by a crash.
+    @staticmethod
+    def _sidecar_path(path: Path) -> Path:
+        # shard-NN.jsonl → shard-NN.idx.json: the sidecar describes the data
+        # *file*, so the name derives from the filename, not the shard map.
+        return path.with_name(path.name[: -len(".jsonl")] + ".idx.json")
 
-        A compaction killed before its atomic ``os.replace`` leaves a
-        ``shard-*.jsonl.tmp`` next to the intact shard.  The temp holds no
-        entry the shard does not, so dropping it is the whole recovery — but
-        it must be dropped, or crashed compactions accumulate garbage files
-        forever.
+    def _manifest_path(self) -> Path:
+        assert self.root is not None
+        return self.root / "registry.json"
+
+    def _detect_layout(self) -> Tuple[bool, bool]:
+        """``(native, manifest_ok)`` for the on-disk directory.
+
+        *Native* means every data file is ``shard-i.jsonl`` for ``i`` under
+        the current ``num_shards`` **and** the manifest agrees on the shard
+        count, so the fingerprint→file mapping holds and shards may load
+        lazily.  Anything else (a v1 directory, a different shard count, a
+        half-migrated layout) is foreign: correctness first — every file is
+        scanned eagerly on first access, exactly like the v1 reader.
+        """
+        assert self.root is not None
+        data_paths = sorted(self.root.glob("shard-*.jsonl"))
+        if not data_paths:
+            return True, False
+        try:
+            manifest = json.loads(self._manifest_path().read_text(encoding="utf-8"))
+        except (FileNotFoundError, OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False, False
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != REGISTRY_MANIFEST_FORMAT
+        ):
+            return False, False
+        try:
+            if int(manifest["num_shards"]) != self.num_shards:
+                return False, False
+        except (KeyError, TypeError, ValueError):
+            return False, False
+        for path in data_paths:
+            try:
+                shard = int(path.name[len("shard-"): -len(".jsonl")])
+            except ValueError:
+                return False, False
+            if not 0 <= shard < self.num_shards:
+                return False, False
+        return True, True
+
+    def _write_manifest_locked(self) -> None:
+        manifest = self._manifest_path()
+        tmp = manifest.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(
+                {"format": REGISTRY_MANIFEST_FORMAT, "num_shards": self.num_shards}
+            ),
+            encoding="utf-8",
+        )
+        os.replace(tmp, manifest)
+        self._manifest_ok = True
+
+    def _remove_orphan_tmps(self) -> int:
+        """Delete half-written temp files left behind by a crash.
+
+        A compaction (or sidecar/manifest write) killed before its atomic
+        ``os.replace`` leaves a ``*.tmp`` next to the intact file; a crash
+        between a data-file unlink and its sidecar unlink leaves a sidecar
+        with no data file.  Neither holds anything the surviving files do
+        not, so dropping them is the whole recovery — but they must be
+        dropped, or crashed maintenance accumulates garbage files forever.
         """
         assert self.root is not None
         removed = 0
-        for tmp in self.root.glob("shard-*.jsonl.tmp"):
-            tmp.unlink()
-            removed += 1
+        for pattern in ("shard-*.jsonl.tmp", "shard-*.idx.json.tmp", "registry.json.tmp"):
+            for tmp in self.root.glob(pattern):
+                tmp.unlink()
+                removed += 1
+        for sidecar in self.root.glob("shard-*.idx.json"):
+            data = sidecar.with_name(sidecar.name[: -len(".idx.json")] + ".jsonl")
+            if not data.exists():
+                sidecar.unlink()
+                removed += 1
         return removed
 
-    def _load_lines_locked(self, path: Path) -> None:
-        # Caller holds _mutex (or the registry is not yet published: __init__).
+    # ------------------------------------------------------------------ #
+    # indexing
+    # ------------------------------------------------------------------ #
+    def _ensure_key_indexed_locked(self, fingerprint: str) -> None:
+        """Index exactly the shard ``fingerprint`` hashes to (lazy path)."""
+        if self._all_indexed or self.root is None:
+            return
+        if not self._native:
+            self._ensure_all_indexed_locked()
+            return
+        self._ensure_shard_indexed_locked(self._shard_of(fingerprint))
+
+    def _ensure_shard_indexed_locked(self, shard: int) -> None:
+        path = self._shard_path(shard)
+        state = self._files.get(path)
+        if state is not None and state.indexed:
+            return
+        if not path.exists():
+            state = _FileState()
+            state.indexed = True
+            self._files[path] = state
+            return
+        self._index_file_locked(path)
+
+    def _ensure_all_indexed_locked(self) -> None:
+        if self._all_indexed:
+            return
+        if self.root is None or not self.root.exists():
+            self._all_indexed = True
+            return
+        if self._native:
+            for shard in range(self.num_shards):
+                self._ensure_shard_indexed_locked(shard)
+        else:
+            # Glob rather than range(num_shards): a registry written with a
+            # different shard count must still load every entry.
+            for path in sorted(self.root.glob("shard-*.jsonl")):
+                state = self._files.get(path)
+                if state is None or not state.indexed:
+                    self._index_file_locked(path)
+        self._all_indexed = True
+
+    def _index_file_locked(self, path: Path) -> None:
         began = time.perf_counter()
-        # A process killed mid-append leaves a torn final line; truncate it
-        # (even under strict — it is an expected crash artifact, not data
-        # corruption) so re-opened shards never append onto a partial line.
-        if repair_torn_tail(path, label="registry shard"):
-            self.truncated_tails += 1
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            line = line.strip()
-            if not line:
+        state = self._files.get(path)
+        if state is None:
+            state = _FileState()
+        if not self._load_sidecar_locked(path, state):
+            scan_began = time.perf_counter()
+            data = path.read_bytes()
+            self._scan_lines_locked(path, state, data, base_offset=0, lineno_base=0)
+            state.data_bytes = len(data)
+            if self._native:
+                # a scanned native shard is upgrade-eligible: close() will
+                # write its sidecar so the next open loads lazily.
+                state.dirty = True
+            _SHARD_LOAD.observe(time.perf_counter() - scan_began)
+        state.indexed = True
+        self._files[path] = state
+        _INDEX_LOAD.observe(time.perf_counter() - began)
+
+    def _load_sidecar_locked(self, path: Path, state: _FileState) -> bool:
+        """Ingest a v2 sidecar; False → caller must scan the data file.
+
+        The sidecar is only trusted when it provably matches the data file:
+        its ``data_bytes`` must not exceed the file, the indexed region must
+        end on a line boundary, and the checksummed file prefix must match.
+        Lines appended after the sidecar was written (``data_bytes`` …
+        end-of-file) are absorbed by scanning just that tail.
+        """
+        sidecar = self._sidecar_path(path)
+        try:
+            payload = json.loads(sidecar.read_text(encoding="utf-8"))
+        except (FileNotFoundError, OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        if not isinstance(payload, dict) or payload.get("format") != SHARD_INDEX_FORMAT:
+            return False
+        try:
+            data_bytes = int(payload["data_bytes"])
+            total_lines = int(payload["total_lines"])
+            skipped_lines = int(payload["skipped_lines"])
+            prefix_len = int(payload["prefix_len"])
+            prefix_crc = int(payload["prefix_crc"])
+            parsed = [
+                _IndexEntry(
+                    fingerprint=str(item[0]),
+                    target=sys.intern(str(item[1])),
+                    latency=float(item[2]),
+                    has_schedule=bool(item[5]),
+                    embedding=tuple(float(v) for v in item[6]),
+                    path=path,
+                    offset=int(item[3]),
+                    length=int(item[4]),
+                )
+                for item in payload["entries"]
+            ]
+        except (IndexError, KeyError, TypeError, ValueError):
+            return False
+        if data_bytes < 0 or total_lines < 0 or skipped_lines < 0:
+            return False
+        try:
+            with path.open("rb") as fh:
+                size = fh.seek(0, os.SEEK_END)
+                if data_bytes > size:
+                    return False  # file shrank (tail repair): index is stale
+                if data_bytes:
+                    fh.seek(data_bytes - 1)
+                    if fh.read(1) != b"\n":
+                        return False  # indexed region no longer line-aligned
+                    fh.seek(0)
+                    if zlib.crc32(fh.read(min(prefix_len, data_bytes))) != prefix_crc:
+                        return False  # file was rewritten under the sidecar
+                tail = b""
+                if size > data_bytes:
+                    fh.seek(data_bytes)
+                    tail = fh.read()
+        except OSError:
+            return False
+        for ie in parsed:
+            self._absorb_index_locked(ie, None)
+        state.data_bytes = data_bytes
+        state.total_lines = total_lines
+        state.skipped_lines = skipped_lines
+        self.total_lines += total_lines
+        self.skipped_lines += skipped_lines
+        _INDEX_LOADS.inc()
+        if tail:
+            self._scan_lines_locked(
+                path, state, tail, base_offset=data_bytes, lineno_base=total_lines
+            )
+            state.data_bytes = data_bytes + len(tail)
+            state.dirty = True
+        return True
+
+    def _scan_lines_locked(
+        self,
+        path: Path,
+        state: _FileState,
+        blob: bytes,
+        base_offset: int,
+        lineno_base: int,
+    ) -> None:
+        """Parse raw shard bytes into the index, tracking line offsets."""
+        pos = base_offset
+        for lineno, raw in enumerate(blob.splitlines(keepends=True), start=lineno_base + 1):
+            offset = pos
+            pos += len(raw)
+            text = raw.strip()
+            if not text:
                 continue
+            state.total_lines += 1
             self.total_lines += 1
             try:
-                self._absorb_locked(RegistryEntry.from_dict(json.loads(line)))
+                entry = RegistryEntry.from_dict(json.loads(text))
             except (ValueError, KeyError, TypeError) as exc:
                 if self.strict:
                     raise ValueError(
                         f"corrupted registry entry at {path}:{lineno}: {exc}"
                     ) from exc
+                state.skipped_lines += 1
                 self.skipped_lines += 1
-        _SHARD_LOAD.observe(time.perf_counter() - began)
+                continue
+            self._absorb_index_locked(
+                _IndexEntry(
+                    fingerprint=entry.fingerprint,
+                    target=sys.intern(entry.target),
+                    latency=entry.latency,
+                    has_schedule=entry.schedule is not None,
+                    embedding=entry.embedding,
+                    path=path,
+                    offset=offset,
+                    length=len(raw),
+                ),
+                None,
+            )
 
-    def _absorb_locked(self, entry: RegistryEntry) -> bool:
-        """Fold an entry into the in-memory best map (no disk write).
+    def _absorb_index_locked(
+        self, ie: _IndexEntry, entry: Optional[RegistryEntry]
+    ) -> bool:
+        """Fold an index entry into the best map (no disk write).
 
-        Caller holds ``_mutex``.
+        ``entry`` carries the already-parsed body when the caller has it
+        (a live :meth:`record`); scans pass ``None`` so a million-entry load
+        indexes light records only and bodies stay on disk.
         """
-        current = self._best.get(entry.key)
-        if current is None or entry.latency < current.latency:
-            self._best[entry.key] = entry
-            return True
-        return False
+        key = ie.key
+        current = self._index.get(key)
+        if current is not None and ie.latency >= current.latency:
+            return False
+        self._index[key] = ie
+        self._targets.add(ie.target)
+        self._matrices.pop(ie.target, None)
+        if entry is not None:
+            self._best[key] = entry
+        else:
+            # drop a stale materialised body; re-read on next lookup
+            self._best.pop(key, None)
+        return True
 
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def _open_read_handle(self, path: Path) -> IO[bytes]:
+        _SHARD_OPENS.inc()
+        return path.open("rb")
+
+    def _read_span_locked(self, path: Path, offset: int, length: int) -> bytes:
+        fh = self._read_handles.get_or_create(
+            str(path), lambda: self._open_read_handle(path)
+        )
+        fh.seek(offset)
+        return fh.read(length)
+
+    def _materialise_locked(self, key: Tuple[str, str]) -> Optional[RegistryEntry]:
+        entry = self._best.get(key)
+        if entry is not None:
+            return entry
+        ie = self._index.get(key)
+        if ie is None or ie.path is None or ie.offset < 0:
+            return None
+        raw = self._read_span_locked(ie.path, ie.offset, ie.length)
+        entry = RegistryEntry.from_dict(json.loads(raw))
+        self._best[key] = entry
+        _INDEX_HITS.inc()
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
     def _append_locked(self, entry: RegistryEntry) -> None:
         # Caller holds _mutex: the get-or-open handle dance and the
         # write+flush+count must not interleave with another appender.
@@ -313,19 +802,37 @@ class ScheduleRegistry:
         fh = self._handles.get(shard)
         if fh is None:
             self.root.mkdir(parents=True, exist_ok=True)
-            fh = self._shard_path(shard).open("a", encoding="utf-8")
+            if self._native and not self._manifest_ok:
+                self._write_manifest_locked()
+            fh = self._shard_path(shard).open("ab")
             self._handles[shard] = fh
         line = json.dumps(entry.to_dict()) + "\n"
+        data = line.encode("utf-8")
+        offset = fh.seek(0, os.SEEK_END)
         fired = poll_fault(
             "registry.append", detail=f"shard-{shard:02d}:{entry.fingerprint}"
         )
         if fired is not None:
             if fired.spec.kind == "torn_write":
-                fh.write(fired.torn_prefix(line))
+                fh.write(fired.torn_prefix(line).encode("utf-8"))
                 fh.flush()
             fired.crash(f"died appending {entry.fingerprint!r} to shard {shard}")
-        fh.write(line)
+        fh.write(data)
         fh.flush()
+        path = self._shard_path(shard)
+        ie = self._index.get(entry.key)
+        if ie is not None:
+            ie.path = path
+            ie.offset = offset
+            ie.length = len(data)
+        state = self._files.get(path)
+        if state is None:
+            state = _FileState()
+            state.indexed = True
+            self._files[path] = state
+        state.total_lines += 1
+        state.data_bytes = offset + len(data)
+        state.dirty = True
         self.total_lines += 1
         _APPEND.observe(time.perf_counter() - began)
 
@@ -342,9 +849,20 @@ class ScheduleRegistry:
             raise ValueError("registry entries need a non-empty fingerprint")
         # Absorb + append must commit together: a second writer slipping in
         # between them could absorb a worse entry over the unappended best,
-        # or append a line the best map never saw.
+        # or append a line the best map never saw.  The key's shard is
+        # indexed first so the on-disk best takes part in the comparison.
         with self._mutex:
-            accepted = self._absorb_locked(entry)
+            self._ensure_key_indexed_locked(entry.fingerprint)
+            accepted = self._absorb_index_locked(
+                _IndexEntry(
+                    fingerprint=entry.fingerprint,
+                    target=sys.intern(entry.target),
+                    latency=entry.latency,
+                    has_schedule=entry.schedule is not None,
+                    embedding=entry.embedding,
+                ),
+                entry,
+            )
             if accepted:
                 self._append_locked(entry)
         return accepted
@@ -383,23 +901,95 @@ class ScheduleRegistry:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def get(self, fingerprint: str, target) -> Optional[RegistryEntry]:
-        """O(1) exact lookup by (fingerprint, target)."""
+    def lookup(
+        self,
+        dag: Union[ComputeDAG, str],
+        target,
+        *,
+        k: int = 1,
+        cross_target: bool = False,
+        catalog=None,
+    ) -> LookupResult:
+        """One-stop registry query: exact hit, neighbours and transfers.
+
+        ``dag`` is a :class:`~repro.tensor.dag.ComputeDAG` or a raw
+        fingerprint string (fingerprints answer the exact tier only — there
+        is no embedding to rank neighbours with).  ``k`` bounds the ranked
+        same-target ``neighbors`` (``k=0`` skips the similarity search: the
+        cheapest exact-only probe).  ``cross_target=True`` additionally
+        ranks transfer donors from other targets (requires a
+        :class:`~repro.hardware.target.HardwareTarget`; donor targets are
+        resolved through ``catalog``, default the built-in one).
+
+        The exact tier indexes only the one shard the key hashes to; the
+        similarity tiers index everything (they must rank all candidates).
+        """
         target_name = target if isinstance(target, str) else target.name
+        if isinstance(dag, ComputeDAG):
+            fingerprint = structural_fingerprint(dag)
+            query_dag: Optional[ComputeDAG] = dag
+        else:
+            fingerprint = str(dag)
+            query_dag = None
+        entry = self._lookup_exact(fingerprint, target_name)
+        neighbors: Tuple[Tuple[float, RegistryEntry], ...] = ()
+        transfers: Tuple[Tuple[float, RegistryEntry], ...] = ()
+        if query_dag is not None and k > 0:
+            neighbors = tuple(
+                self._nearest_impl(query_dag, target_name, k=k, exclude_exact=True)
+            )
+        if query_dag is not None and cross_target and isinstance(target, HardwareTarget):
+            transfers = tuple(
+                self._cross_target_impl(query_dag, target, catalog=catalog, k=max(k, 1))
+            )
+        if entry is not None:
+            source = "exact"
+        elif neighbors:
+            source = "neighbor"
+        elif transfers:
+            source = "transfer"
+        else:
+            source = "miss"
+        return LookupResult(
+            fingerprint=fingerprint,
+            target=target_name,
+            entry=entry,
+            neighbors=neighbors,
+            transfers=transfers,
+            source=source,
+        )
+
+    def _lookup_exact(
+        self, fingerprint: str, target_name: str
+    ) -> Optional[RegistryEntry]:
         with self._mutex:
-            entry = self._best.get((fingerprint, target_name))
+            self._ensure_key_indexed_locked(fingerprint)
+            entry = self._materialise_locked((fingerprint, target_name))
         _LOOKUPS.inc()
         (_HITS if entry is not None else _MISSES).inc()
         return entry
 
-    def lookup(self, dag: ComputeDAG, target) -> Optional[RegistryEntry]:
-        """O(1) exact structural lookup for a DAG."""
-        return self.get(structural_fingerprint(dag), target)
+    def get(self, fingerprint: str, target) -> Optional[RegistryEntry]:
+        """Deprecated: use ``lookup(fingerprint, target, k=0).entry``."""
+        warnings.warn(
+            "ScheduleRegistry.get() is deprecated; use "
+            "lookup(fingerprint, target, k=0).entry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        target_name = target if isinstance(target, str) else target.name
+        return self._lookup_exact(fingerprint, target_name)
 
     def entries(self) -> List[RegistryEntry]:
-        """Current best entry of every (fingerprint, target) key."""
+        """Current best entry of every (fingerprint, target) key.
+
+        Materialises every entry body — a full-store copy.  Maintenance
+        (merge / export / compaction checks) wants exactly that; hot query
+        paths should go through :meth:`lookup` instead.
+        """
         with self._mutex:
-            return [self._best[key] for key in sorted(self._best)]
+            self._ensure_all_indexed_locked()
+            return [self._materialise_locked(key) for key in sorted(self._index)]
 
     def nearest(
         self,
@@ -408,28 +998,110 @@ class ScheduleRegistry:
         k: int = 1,
         exclude_exact: bool = True,
     ) -> List[Tuple[float, RegistryEntry]]:
-        """The ``k`` registered workloads closest to ``dag`` on one target.
-
-        Returns ``(embedding distance, entry)`` pairs sorted by distance.
-        ``exclude_exact`` drops the DAG's own fingerprint so the result is a
-        genuine *relative*, which is what transfer warm starts want.
-        """
+        """Deprecated: use ``lookup(dag, target, k=k).neighbors``."""
+        warnings.warn(
+            "ScheduleRegistry.nearest() is deprecated; use "
+            "lookup(dag, target, k=k).neighbors",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         target_name = target if isinstance(target, str) else target.name
+        return self._nearest_impl(dag, target_name, k=k, exclude_exact=exclude_exact)
+
+    def _nearest_impl(
+        self, dag: ComputeDAG, target_name: str, k: int, exclude_exact: bool = True
+    ) -> List[Tuple[float, RegistryEntry]]:
+        if k <= 0:
+            return []
         fingerprint = structural_fingerprint(dag)
         query = workload_embedding(dag)
         with self._mutex:
-            candidates = list(self._best.values())
-        scored: List[Tuple[float, RegistryEntry]] = []
-        for entry in candidates:
-            if entry.target != target_name or not entry.embedding:
+            self._ensure_all_indexed_locked()
+            return self._nearest_locked(fingerprint, query, target_name, k, exclude_exact)
+
+    def _nearest_locked(
+        self,
+        fingerprint: str,
+        query: np.ndarray,
+        target_name: str,
+        k: int,
+        exclude_exact: bool,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        matrix = self._matrix_locked(target_name)
+        if (
+            hot_path_enabled()
+            and matrix.embeddings is not None
+            and (len(matrix.rows) == 0 or matrix.embeddings.shape[1] == len(query))
+        ):
+            return self._nearest_vector_locked(
+                matrix, fingerprint, query, k, exclude_exact
+            )
+        # Reference path: per-entry loop, kept for legacy_hot_path() A/B
+        # runs and for stores whose embedding dimensions are inconsistent
+        # (embedding_distance raises on the mismatch, as it always did).
+        scored: List[Tuple[float, _IndexEntry]] = []
+        for ie in matrix.rows:
+            if exclude_exact and ie.fingerprint == fingerprint:
                 continue
-            if exclude_exact and entry.fingerprint == fingerprint:
-                continue
-            scored.append((embedding_distance(query, entry.embedding), entry))
+            scored.append((embedding_distance(query, ie.embedding), ie))
         scored.sort(key=lambda pair: (pair[0], pair[1].fingerprint))
-        return scored[: max(k, 0)]
+        return [
+            (dist, self._materialise_locked(ie.key)) for dist, ie in scored[: max(k, 0)]
+        ]
+
+    def _nearest_vector_locked(
+        self,
+        matrix: _TargetMatrix,
+        fingerprint: str,
+        query: np.ndarray,
+        k: int,
+        exclude_exact: bool,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        n = len(matrix.rows)
+        if n == 0:
+            return []
+        emb = matrix.embeddings
+        assert emb is not None
+        diff = emb - np.asarray(query, dtype=np.float64)
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        exact_row = matrix.row_of.get(fingerprint) if exclude_exact else None
+        over = min(k + (1 if exact_row is not None else 0), n)
+        if over < n:
+            cand = np.argpartition(dist, over - 1)[:over]
+        else:
+            cand = np.arange(n)
+        # primary: distance; tie-break: row order == fingerprint order,
+        # reproducing the reference sort key (distance, fingerprint).
+        order = np.lexsort((cand, dist[cand]))
+        out: List[Tuple[float, RegistryEntry]] = []
+        for row in cand[order]:
+            if exact_row is not None and row == exact_row:
+                continue
+            entry = self._materialise_locked(matrix.keys[row])
+            if entry is None:
+                continue
+            out.append((float(dist[row]), entry))
+            if len(out) == k:
+                break
+        return out
 
     def cross_target_candidates(
+        self,
+        dag: ComputeDAG,
+        target: HardwareTarget,
+        catalog=None,
+        k: int = 4,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        """Deprecated: use ``lookup(dag, target, cross_target=True).transfers``."""
+        warnings.warn(
+            "ScheduleRegistry.cross_target_candidates() is deprecated; use "
+            "lookup(dag, target, cross_target=True, catalog=...).transfers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._cross_target_impl(dag, target, catalog=catalog, k=k)
+
+    def _cross_target_impl(
         self,
         dag: ComputeDAG,
         target: HardwareTarget,
@@ -449,63 +1121,143 @@ class ScheduleRegistry:
 
         Returns ``(target distance, entry)`` pairs.
         """
-        if not isinstance(target, HardwareTarget):
+        if not isinstance(target, HardwareTarget) or k <= 0:
             return []
         catalog = catalog if catalog is not None else default_catalog()
         fingerprint = structural_fingerprint(dag)
         query = workload_embedding(dag)
-        distances: Dict[str, float] = {}
         with self._mutex:
-            candidates = list(self._best.values())
-        scored: List[Tuple[float, float, RegistryEntry]] = []
-        for entry in candidates:
-            if entry.target == target.name or entry.schedule is None:
+            self._ensure_all_indexed_locked()
+            return self._cross_target_locked(fingerprint, query, target, catalog, k)
+
+    def _cross_target_locked(
+        self,
+        fingerprint: str,
+        query: np.ndarray,
+        target: HardwareTarget,
+        catalog,
+        k: int,
+    ) -> List[Tuple[float, RegistryEntry]]:
+        q = np.asarray(query, dtype=np.float64)
+        # (score, fingerprint, target, t_dist, key) — sorted on the first
+        # three, exactly the pre-vectorised tie-break.
+        scored: List[Tuple[float, str, str, float, Tuple[str, str]]] = []
+        for target_name in sorted(self._targets):
+            if target_name == target.name:
                 continue
-            t_dist = distances.get(entry.target)
-            if t_dist is None:
-                donor = catalog.get_optional(entry.target)
-                t_dist = target_distance(target, donor) if donor is not None else -1.0
-                distances[entry.target] = t_dist
+            donor = catalog.get_optional(target_name)
+            t_dist = target_distance(target, donor) if donor is not None else -1.0
             if t_dist < 0:
                 continue
-            if entry.fingerprint == fingerprint:
-                w_dist = 0.0
-            elif entry.embedding:
-                w_dist = embedding_distance(query, entry.embedding)
+            matrix = self._matrix_locked(target_name)
+            if (
+                hot_path_enabled()
+                and matrix.embeddings is not None
+                and (len(matrix.rows) == 0 or matrix.embeddings.shape[1] == q.shape[0])
+            ):
+                n = len(matrix.rows)
+                if n:
+                    assert matrix.sched_mask is not None
+                    diff = matrix.embeddings - q
+                    score = np.sqrt(np.einsum("ij,ij->i", diff, diff)) + t_dist
+                    row = matrix.row_of.get(fingerprint)
+                    if row is not None:
+                        score[row] = t_dist  # exact workload: w_dist == 0
+                    cand = np.nonzero(matrix.sched_mask)[0]
+                    if cand.size:
+                        take = min(k, int(cand.size))
+                        sub = score[cand]
+                        if take < cand.size:
+                            pick = np.argpartition(sub, take - 1)[:take]
+                        else:
+                            pick = np.arange(cand.size)
+                        order = np.lexsort((cand[pick], sub[pick]))
+                        for r in cand[pick][order]:
+                            scored.append(
+                                (
+                                    float(score[r]),
+                                    matrix.fingerprints[r],
+                                    target_name,
+                                    t_dist,
+                                    matrix.keys[r],
+                                )
+                            )
+                for ie in matrix.extras:
+                    # no embedding: only the exact workload can transfer
+                    if ie.has_schedule and ie.fingerprint == fingerprint:
+                        scored.append(
+                            (t_dist, ie.fingerprint, target_name, t_dist, ie.key)
+                        )
             else:
-                continue
-            scored.append((w_dist + t_dist, t_dist, entry))
-        scored.sort(key=lambda item: (item[0], item[2].fingerprint, item[2].target))
-        return [(t_dist, entry) for _score, t_dist, entry in scored[: max(k, 0)]]
+                for ie in matrix.rows + matrix.extras:
+                    if not ie.has_schedule:
+                        continue
+                    if ie.fingerprint == fingerprint:
+                        w_dist = 0.0
+                    elif ie.embedding:
+                        w_dist = embedding_distance(query, ie.embedding)
+                    else:
+                        continue
+                    scored.append(
+                        (w_dist + t_dist, ie.fingerprint, target_name, t_dist, ie.key)
+                    )
+        scored.sort(key=lambda item: (item[0], item[1], item[2]))
+        out: List[Tuple[float, RegistryEntry]] = []
+        for _score, _fp, _tname, t_dist, key in scored[: max(k, 0)]:
+            entry = self._materialise_locked(key)
+            if entry is not None:
+                out.append((t_dist, entry))
+        return out
+
+    def _matrix_locked(self, target_name: str) -> _TargetMatrix:
+        matrix = self._matrices.get(target_name)
+        if matrix is None:
+            matrix = _TargetMatrix(
+                ie for ie in self._index.values() if ie.target == target_name
+            )
+            self._matrices[target_name] = matrix
+        return matrix
 
     def stats(self) -> dict:
         """Aggregate registry statistics (entries, shards, stale lines, ...)."""
         shard_files = 0
+        index_sidecars = 0
         if self.root is not None and self.root.exists():
             shard_files = len(list(self.root.glob("shard-*.jsonl")))
+            index_sidecars = len(list(self.root.glob("shard-*.idx.json")))
         with self._mutex:
-            targets = sorted({entry.target for entry in self._best.values()})
+            self._ensure_all_indexed_locked()
             return {
-                "entries": len(self._best),
-                "workloads": len({fp for fp, _t in self._best}),
-                "targets": targets,
+                "entries": len(self._index),
+                "workloads": len({fp for fp, _t in self._index}),
+                "targets": sorted(self._targets),
                 "shard_files": shard_files,
+                "index_sidecars": index_sidecars,
                 "total_lines": self.total_lines,
                 "stale_lines": max(
-                    self.total_lines - self.skipped_lines - len(self._best), 0
+                    self.total_lines - self.skipped_lines - len(self._index), 0
                 ),
                 "skipped_lines": self.skipped_lines,
                 "truncated_tails": self.truncated_tails,
                 "removed_orphans": self.removed_orphans,
+                "open_read_handles": len(self._read_handles),
             }
+
+    @property
+    def indexed_shards(self) -> int:
+        """How many shard files have been indexed so far (lazy-load probe)."""
+        with self._mutex:
+            return sum(1 for state in self._files.values() if state.indexed)
 
     def __len__(self) -> int:
         with self._mutex:
-            return len(self._best)
+            self._ensure_all_indexed_locked()
+            return len(self._index)
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
         with self._mutex:
-            return key in self._best
+            self._ensure_key_indexed_locked(key[0])
+            return key in self._index
 
     # ------------------------------------------------------------------ #
     # warm starts
@@ -524,14 +1276,14 @@ class ScheduleRegistry:
         (restored against ``dag``); nearest registered relatives contribute
         schedules whose tile sizes are re-fitted to the new extents.  When the
         destination target still has fewer than ``max_candidates`` donors, the
-        lookup falls back across targets (:meth:`cross_target_candidates`) and
-        re-fits the borrowed schedules to the destination device.  Candidates
-        arrive best-first: exact hit, same-target relatives, cross-target
-        donors.
+        lookup falls back across targets and re-fits the borrowed schedules to
+        the destination device.  Candidates arrive best-first: exact hit,
+        same-target relatives, cross-target donors.
         """
         from repro.records import schedule_from_dict  # records imports us
 
         _TRANSFER_LOOKUPS.inc()
+        target_name = target if isinstance(target, str) else target.name
         out: List[TransferCandidate] = []
         seen: set = set()
 
@@ -541,7 +1293,7 @@ class ScheduleRegistry:
                 seen.add(key)
                 out.append(TransferCandidate(schedule, donor, t_dist, cross))
 
-        exact = self.lookup(dag, target)
+        exact = self._lookup_exact(structural_fingerprint(dag), target_name)
         if exact is not None and exact.schedule is not None:
             try:
                 push(
@@ -552,7 +1304,7 @@ class ScheduleRegistry:
                 # Malformed stored schedule (older format / torn write):
                 # skip it, matching the registry's corruption tolerance.
                 pass
-        for _distance, entry in self.nearest(dag, target, k=max_candidates):
+        for _distance, entry in self._nearest_impl(dag, target_name, k=max_candidates):
             if len(out) >= max_candidates:
                 break
             if entry.schedule is None:
@@ -563,7 +1315,7 @@ class ScheduleRegistry:
         if cross_target and len(out) < max_candidates and isinstance(target, HardwareTarget):
             remaining = max_candidates - len(out)
             donors: List[Tuple[RegistryEntry, float, List[Schedule]]] = []
-            for t_dist, entry in self.cross_target_candidates(
+            for t_dist, entry in self._cross_target_impl(
                 dag, target, catalog=catalog, k=remaining
             ):
                 adapted = self._adapt_schedule_to_target(entry.schedule, dag, target)
@@ -826,67 +1578,173 @@ class ScheduleRegistry:
     def compact(self) -> int:
         """Rewrite every shard with only the current best entry per key.
 
-        Each shard is replaced atomically (temp file + ``os.replace``), so a
-        crash mid-compaction leaves either the old or the new shard, never a
-        torn one.  Returns the number of stale lines removed.
+        Streams verbatim line bytes from the old files into the new ones
+        (no shard is ever held in memory), replaces each data file
+        atomically (temp file + ``os.replace``), then writes fresh v2 index
+        sidecars and the layout manifest — so a crash mid-compaction leaves
+        either the old or the new shard, never a torn one, and a stale
+        sidecar is detected and rescanned on the next open.  Returns the
+        number of stale lines removed.
         """
         if self.root is None:
             return 0
         began = time.perf_counter()
         with self._mutex:
-            with obs_span("registry.compact", entries=len(self._best)) as compact_span:
+            self._ensure_all_indexed_locked()
+            with obs_span("registry.compact", entries=len(self._index)) as compact_span:
                 removed = self._compact_inner_locked()
                 compact_span.annotate(removed=removed)
         _COMPACT.observe(time.perf_counter() - began)
         return removed
 
+    def _entry_line_locked(self, ie: _IndexEntry) -> bytes:
+        """The verbatim line bytes of one index entry (newline-terminated)."""
+        if ie.path is not None and ie.offset >= 0:
+            raw = self._read_span_locked(ie.path, ie.offset, ie.length)
+            if not raw.endswith(b"\n"):
+                raw += b"\n"
+            return raw
+        entry = self._best.get(ie.key)
+        if entry is None:
+            raise RuntimeError(f"registry index entry {ie.key!r} has no backing line")
+        return (json.dumps(entry.to_dict()) + "\n").encode("utf-8")
+
     def _compact_inner_locked(self) -> int:
-        # Caller holds _mutex for the whole rewrite.
-        self.close()
-        by_shard: Dict[int, List[RegistryEntry]] = {}
-        for entry in self.entries():
-            by_shard.setdefault(self._shard_of(entry.fingerprint), []).append(entry)
-        removed = self.total_lines - self.skipped_lines - len(self._best)
+        # Caller holds _mutex for the whole rewrite, with the index complete.
+        self._close_handles_locked(read_handles=False)
+        removed = self.total_lines - self.skipped_lines - len(self._index)
         self.root.mkdir(parents=True, exist_ok=True)
         self.removed_orphans += self._remove_orphan_tmps()
         # Drop every existing shard file (including ones written under a
-        # different shard count) before rewriting under the current mapping.
-        stale_paths = set(self.root.glob("shard-*.jsonl"))
-        for shard, entries in sorted(by_shard.items()):
+        # different shard count) and stale sidecar after the rewrite.
+        stale_data = set(self.root.glob("shard-*.jsonl"))
+        stale_sidecars = set(self.root.glob("shard-*.idx.json"))
+        by_shard: Dict[int, List[_IndexEntry]] = {}
+        for key in sorted(self._index):
+            ie = self._index[key]
+            by_shard.setdefault(self._shard_of(ie.fingerprint), []).append(ie)
+        # Phase A: stream every surviving line into its temp file.  All
+        # temps are written before any replace so the source reads above
+        # never race the renames.
+        plans: List[Tuple[int, Path, Path, List[Tuple[_IndexEntry, int, int]], int]] = []
+        for shard, items in sorted(by_shard.items()):
             path = self._shard_path(shard)
             tmp = path.with_suffix(".jsonl.tmp")
-            with tmp.open("w", encoding="utf-8") as fh:
-                for entry in entries:
-                    line = json.dumps(entry.to_dict()) + "\n"
+            spans: List[Tuple[_IndexEntry, int, int]] = []
+            pos = 0
+            with tmp.open("wb") as fh:
+                for ie in items:
+                    raw = self._entry_line_locked(ie)
                     fired = poll_fault(
                         "registry.compact", detail=f"mid_write:shard-{shard:02d}"
                     )
                     if fired is not None:
                         if fired.spec.kind == "torn_write":
-                            fh.write(fired.torn_prefix(line))
+                            fh.write(
+                                fired.torn_prefix(raw.decode("utf-8")).encode("utf-8")
+                            )
                             fh.flush()
                         fired.crash(f"died rewriting shard {shard} mid-compaction")
-                    fh.write(line)
+                    fh.write(raw)
+                    spans.append((ie, pos, len(raw)))
+                    pos += len(raw)
+            plans.append((shard, path, tmp, spans, pos))
+        # Phase B: atomic replaces, then fresh sidecars per shard.
+        for shard, path, tmp, spans, size in plans:
             fired = poll_fault(
                 "registry.compact", detail=f"before_replace:shard-{shard:02d}"
             )
             if fired is not None:
                 fired.crash(f"died before atomically replacing shard {shard}")
             os.replace(tmp, path)
-            stale_paths.discard(path)
-        for path in stale_paths:
+            state = _FileState()
+            state.indexed = True
+            state.data_bytes = size
+            state.total_lines = len(spans)
+            self._files[path] = state
+            for ie, offset, length in spans:
+                ie.path = path
+                ie.offset = offset
+                ie.length = length
+            self._write_sidecar_locked(path, state, [ie for ie, _o, _l in spans])
+            stale_data.discard(path)
+            stale_sidecars.discard(self._sidecar_path(path))
+        for path in stale_data:
             path.unlink()
-        self.total_lines = len(self._best)
+            self._files.pop(path, None)
+        for path in stale_sidecars:
+            path.unlink()
+        self._write_manifest_locked()
+        self._native = True
+        # Old inodes were replaced: reopen on next read.
+        self._read_handles.clear()
+        self.total_lines = len(self._index)
         self.skipped_lines = 0
         return max(removed, 0)
 
+    def _write_sidecar_locked(
+        self, path: Path, state: _FileState, entries: List[_IndexEntry]
+    ) -> None:
+        """Atomically (re)write the v2 index sidecar of one data file."""
+        prefix_len = min(state.data_bytes, _PREFIX_CRC_CAP)
+        try:
+            with path.open("rb") as fh:
+                prefix_crc = zlib.crc32(fh.read(prefix_len))
+        except OSError:
+            return
+        payload = {
+            "format": SHARD_INDEX_FORMAT,
+            "data_bytes": state.data_bytes,
+            "total_lines": state.total_lines,
+            "skipped_lines": state.skipped_lines,
+            "prefix_len": prefix_len,
+            "prefix_crc": prefix_crc,
+            "entries": [
+                [
+                    ie.fingerprint,
+                    ie.target,
+                    ie.latency,
+                    ie.offset,
+                    ie.length,
+                    1 if ie.has_schedule else 0,
+                    list(ie.embedding),
+                ]
+                for ie in sorted(entries, key=lambda ie: (ie.fingerprint, ie.target))
+            ],
+        }
+        sidecar = self._sidecar_path(path)
+        tmp = sidecar.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, sidecar)
+        state.dirty = False
+
     # ------------------------------------------------------------------ #
+    def _close_handles_locked(self, read_handles: bool = True) -> None:
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+        if read_handles:
+            self._read_handles.clear()
+
     def close(self) -> None:
-        """Close all shard file handles (idempotent)."""
+        """Flush index sidecars for written shards and close all handles.
+
+        Idempotent.  Sidecars are only written for *native* layouts (the
+        canonical shard naming under the current shard count) whose index
+        moved past the on-disk sidecar — so closing a freshly written or
+        appended registry leaves it lazy-loadable, while foreign layouts
+        are left untouched for the next eager reader.
+        """
         with self._mutex:
-            for fh in self._handles.values():
-                fh.close()
-            self._handles.clear()
+            if self.root is not None and self._native:
+                by_path: Dict[Path, List[_IndexEntry]] = {}
+                for ie in self._index.values():
+                    if ie.path is not None and ie.offset >= 0:
+                        by_path.setdefault(ie.path, []).append(ie)
+                for path, state in self._files.items():
+                    if state.indexed and state.dirty and path.exists():
+                        self._write_sidecar_locked(path, state, by_path.get(path, []))
+            self._close_handles_locked()
 
     def __enter__(self) -> "ScheduleRegistry":
         return self

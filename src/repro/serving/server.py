@@ -355,9 +355,9 @@ class ServingServer:
             dag = self._dag_of(params)
         except (KeyError, TypeError, ValueError) as exc:
             return self._error(request_id, "bad_request", str(exc))
-        entry = self.service.registry.get(
-            structural_fingerprint(dag), self.service.target
-        )
+        entry = self.service.registry.lookup(
+            structural_fingerprint(dag), self.service.target, k=0
+        ).entry
         if entry is None:
             return self._answer(request_id, {"found": False, "workload": dag.name})
         return self._answer(request_id, {
@@ -413,7 +413,9 @@ class ServingServer:
         fingerprint = structural_fingerprint(dag)
         entry = None
         if not force_tune:
-            entry = self.service.registry.get(fingerprint, self.service.target)
+            entry = self.service.registry.lookup(
+                fingerprint, self.service.target, k=0
+            ).entry
 
         # 3. Registry fast path: answered inline, no admission slot burned.
         if entry is not None:
@@ -481,7 +483,7 @@ class ServingServer:
                 self.dropped += 1
                 _DROPPED.inc()
                 return _DROP
-        entry = self.service.registry.get(fingerprint, self.service.target)
+        entry = self.service.registry.lookup(fingerprint, self.service.target, k=0).entry
         if entry is None:
             return self._error(
                 request_id, "overloaded",

@@ -315,7 +315,7 @@ class TuningService:
             # Registry hits never create or join jobs, so the whole fast path
             # (including the sketch-regenerating schedule restore) runs
             # without the service lock.
-            entry = self.registry.get(fingerprint, self.target)
+            entry = self.registry.lookup(fingerprint, self.target, k=0).entry
             if entry is not None:
                 with self._lock:
                     self.registry_hits += 1
@@ -515,7 +515,7 @@ class TuningService:
         with obs_span("service.recover", source=source) as recover_span:
             best: Dict[str, Tuple[float, object]] = {}
             counts: Dict[str, int] = {}
-            for rec in store.measures():
+            for rec in store.query(kind="measure"):
                 fingerprint = getattr(rec, "fingerprint", "") or ""
                 if not fingerprint:
                     continue

@@ -197,12 +197,9 @@ class TestAnnotations:
         real = registry_py.read_text(encoding="utf-8")
         broken = real.replace(
             "        with self._mutex:\n"
-            "            accepted = self._absorb_locked(entry)\n"
-            "            if accepted:\n"
-            "                self._append_locked(entry)\n",
-            "        accepted = self._absorb_locked(entry)\n"
-            "        if accepted:\n"
-            "            self._append_locked(entry)\n",
+            "            self._ensure_key_indexed_locked(entry.fingerprint)\n",
+            "        if True:  # lock dropped\n"
+            "            self._ensure_key_indexed_locked(entry.fingerprint)\n",
         )
         assert broken != real, "registry.record() no longer matches the fixture"
         report = analyze_project(

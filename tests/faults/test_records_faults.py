@@ -31,12 +31,12 @@ class TestEnospcRollback:
             with pytest.raises(OSError) as excinfo:
                 store.append_measure(_measure(4))
         assert excinfo.value.errno == errno.ENOSPC
-        assert [m.trial_index for m in store.measures()] == [1, 2, 3]
+        assert [m.trial_index for m in store.query(kind="measure")] == [1, 2, 3]
         assert store.flush_failures == 1
 
         # Disk agrees with memory: the partial line was rolled back.
         on_disk = RecordStore.load(path, strict=True)
-        assert [m.trial_index for m in on_disk.measures()] == [1, 2, 3]
+        assert [m.trial_index for m in on_disk.query(kind="measure")] == [1, 2, 3]
 
     def test_retry_after_enospc_lands_exactly_once(self, tmp_path):
         path = tmp_path / "records.jsonl"
@@ -48,7 +48,7 @@ class TestEnospcRollback:
             store.append_measure(_measure(2))  # the retry
         store.close()
         reloaded = RecordStore.load(path, strict=True)
-        assert [m.trial_index for m in reloaded.measures()] == [1, 2]
+        assert [m.trial_index for m in reloaded.query(kind="measure")] == [1, 2]
 
     def test_result_appends_roll_back_too(self, tmp_path):
         from repro.records import TuningRecord
@@ -67,10 +67,10 @@ class TestEnospcRollback:
         with inject(FaultPlan.single("records.flush", "enospc", match="result")):
             with pytest.raises(OSError):
                 store.append_result(record)
-        assert store.results() == []
+        assert store.query(kind="result") == []
         store.append_result(record)
         store.close()
-        assert len(RecordStore.load(path, strict=True).results()) == 1
+        assert len(RecordStore.load(path, strict=True).query(kind="result")) == 1
 
 
 class TestSlowFlush:
@@ -81,7 +81,7 @@ class TestSlowFlush:
                 store.append_measure(_measure(i))
         assert store.slow_flushes == 1
         assert store.flush_failures == 0
-        assert [m.trial_index for m in store.measures()] == [1, 2, 3]
+        assert [m.trial_index for m in store.query(kind="measure")] == [1, 2, 3]
 
     def test_fast_flushes_are_not_flagged(self, tmp_path):
         store = RecordStore(tmp_path / "records.jsonl")
@@ -104,7 +104,7 @@ class TestTornTail:
         with pytest.warns(UserWarning, match="torn"):
             recovered = RecordStore.load(path, strict=True)
         assert recovered.truncated_tails == 1
-        assert [m.trial_index for m in recovered.measures()] == [1, 2]
+        assert [m.trial_index for m in recovered.query(kind="measure")] == [1, 2]
 
     def test_append_after_torn_tail_repair_is_clean(self, tmp_path):
         path = tmp_path / "records.jsonl"
@@ -123,4 +123,4 @@ class TestTornTail:
 
         final = RecordStore.load(path, strict=True)
         assert final.skipped_lines == 0
-        assert [m.trial_index for m in final.measures()] == [1, 2]
+        assert [m.trial_index for m in final.query(kind="measure")] == [1, 2]

@@ -144,18 +144,18 @@ class TestCrashBetweenAdvanceAndFinish:
         )
         registry = ScheduleRegistry(registry_root, num_shards=4)
         store = RecordStore.load(records_path)
-        assert store.measures(), "measurements must survive the crash on disk"
+        assert store.query(kind="measure"), "measurements must survive the crash on disk"
 
         revived = TuningService(
             registry=registry, config=tiny_config, seed=0, record_store=store
         )
-        assert registry.get(fingerprint, revived.target.name) is None
+        assert registry.lookup(fingerprint, revived.target.name, k=0).entry is None
         assert revived.recover_from_records() >= 1
 
-        entry = registry.get(fingerprint, revived.target.name)
+        entry = registry.lookup(fingerprint, revived.target.name, k=0).entry
         assert entry is not None
         assert entry.latency == min(
-            m.latency for m in store.measures() if m.fingerprint == fingerprint
+            m.latency for m in store.query(kind="measure") if m.fingerprint == fingerprint
         )
 
         hit = revived.submit(

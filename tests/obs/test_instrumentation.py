@@ -96,7 +96,7 @@ class TestServiceInstrumentation:
 
     def test_registry_lookup_counters(self, cpu):
         registry = ScheduleRegistry()
-        assert registry.get("no-such-fingerprint", cpu) is None
+        assert registry.lookup("no-such-fingerprint", cpu, k=0).entry is None
         assert _counter("registry.lookups") == 1
         assert _counter("registry.misses") == 1
         assert _counter("registry.hits") == 0

@@ -45,7 +45,7 @@ class TestRoundTrip:
         registry.close()
 
         reloaded = ScheduleRegistry(registry_root)
-        entry = reloaded.lookup(gemm_dag, cpu)
+        entry = reloaded.lookup(gemm_dag, cpu, k=0).entry
         assert entry is not None
         assert entry.latency == pytest.approx(result.best_latency)
         assert entry.source == "test"
@@ -59,15 +59,15 @@ class TestRoundTrip:
         assert registry.record(_entry(gemm_dag, cpu, latency=2.0))
         assert not registry.record(_entry(gemm_dag, cpu, latency=3.0))  # worse
         assert registry.record(_entry(gemm_dag, cpu, latency=1.0))
-        assert registry.lookup(gemm_dag, cpu).latency == 1.0
+        assert registry.lookup(gemm_dag, cpu, k=0).entry.latency == 1.0
         assert len(registry) == 1
 
     def test_targets_are_separate_keys(self, cpu, gpu, gemm_dag):
         registry = ScheduleRegistry()
         registry.record(_entry(gemm_dag, cpu, latency=1.0))
         registry.record(_entry(gemm_dag, gpu, latency=0.5))
-        assert registry.lookup(gemm_dag, cpu).latency == 1.0
-        assert registry.lookup(gemm_dag, gpu).latency == 0.5
+        assert registry.lookup(gemm_dag, cpu, k=0).entry.latency == 1.0
+        assert registry.lookup(gemm_dag, gpu, k=0).entry.latency == 0.5
 
     def test_rejects_empty_fingerprint(self, cpu, gemm_dag):
         entry = RegistryEntry(
@@ -112,7 +112,7 @@ class TestMergeImportExport:
         b.record(_entry(other, cpu, latency=5.0))
         accepted = a.merge(b)
         assert accepted == 2  # better gemm + new workload
-        assert a.lookup(gemm_dag, cpu).latency == 1.0
+        assert a.lookup(gemm_dag, cpu, k=0).entry.latency == 1.0
         assert len(a) == 2
 
     def test_export_import_round_trip(self, cpu, gemm_dag, tmp_path):
@@ -122,7 +122,7 @@ class TestMergeImportExport:
 
         fresh = ScheduleRegistry()
         assert fresh.import_file(exported, source="import:test") == 1
-        entry = fresh.lookup(gemm_dag, cpu)
+        entry = fresh.lookup(gemm_dag, cpu, k=0).entry
         assert entry.latency == 1.5
         assert entry.source == "import:test"
 
@@ -215,7 +215,7 @@ class TestCorruptionAndCompaction:
         registry = ScheduleRegistry(registry_root, num_shards=1)
         assert len(registry) == 1
         assert registry.skipped_lines == 2
-        assert registry.lookup(gemm_dag, cpu).latency == 1.0
+        assert registry.lookup(gemm_dag, cpu, k=0).entry.latency == 1.0
 
     def test_strict_mode_raises(self, registry_root, cpu, gemm_dag):
         self._write_garbage(registry_root, cpu, gemm_dag)
@@ -231,7 +231,7 @@ class TestCorruptionAndCompaction:
         reloaded = ScheduleRegistry(registry_root, num_shards=1)
         assert len(reloaded) == 1
         assert reloaded.skipped_lines == 0
-        assert reloaded.lookup(gemm_dag, cpu).latency == 1.0
+        assert reloaded.lookup(gemm_dag, cpu, k=0).entry.latency == 1.0
 
     def test_stats(self, registry_root, cpu, gemm_dag):
         self._write_garbage(registry_root, cpu, gemm_dag)
@@ -252,13 +252,13 @@ class TestNearestNeighbour:
         registry.record(_entry(near, cpu, latency=1.0))
         registry.record(_entry(far, cpu, latency=1.0))
         query = gemm(128, 128, 128)
-        neighbors = registry.nearest(query, cpu, k=2)
+        neighbors = registry.lookup(query, cpu, k=2).neighbors
         assert [e.workload for _d, e in neighbors] == [near.name, far.name]
 
     def test_nearest_excludes_exact_fingerprint(self, cpu, gemm_dag):
         registry = ScheduleRegistry()
         registry.record(_entry(gemm_dag, cpu, latency=1.0))
-        assert registry.nearest(gemm(128, 128, 128, name="twin"), cpu, k=1) == []
+        assert registry.lookup(gemm(128, 128, 128, name="twin"), cpu, k=1).neighbors == ()
 
     def test_transfer_adapts_tile_sizes_to_new_extents(self, cpu, tiny_config):
         donor = gemm(128, 128, 128)

@@ -151,7 +151,7 @@ class TestRegistryFastPath:
         service.process([TuningRequest(dag=gemm(64, 64, 64), n_trials=8,
                                        tenant="alice")])
         entry = service.registry.lookup(gemm(64, 64, 64, name="other"),
-                                        service.target)
+                                        service.target, k=0).entry
         assert entry is not None
         assert "alice" in entry.source
 
@@ -456,14 +456,14 @@ class TestRecoverThenTransfer:
         )
         assert revived.recover_from_records() == 1
 
-        entry = revived.registry.lookup(gemm(64, 64, 64), revived.target)
+        entry = revived.registry.lookup(gemm(64, 64, 64), revived.target, k=0).entry
         assert entry is not None
         # Pre-fix, MeasureRecord carried no embedding, so recovered entries
         # came back with an empty one and nearest() skipped them forever.
         assert len(entry.embedding) > 0
 
         similar = gemm(96, 96, 96, name="relative")
-        neighbours = revived.registry.nearest(similar, revived.target, k=3)
+        neighbours = revived.registry.lookup(similar, revived.target, k=3).neighbors
         assert any(
             candidate.fingerprint == entry.fingerprint
             for _dist, candidate in neighbours

@@ -54,14 +54,13 @@ class TestCrossTargetCandidates:
         result = _tune(registry, cpu_target(), gemm(64, 64, 64), 8, tiny_config)
         assert result.trials_used >= 8
         # Re-key the recorded entry onto a target no catalog knows about.
-        (key,) = list(registry._best)
-        entry = registry._best.pop(key)
+        entry = registry.lookup(gemm(64, 64, 64), cpu_target(), k=0).entry
         from dataclasses import replace
-        with registry._mutex:
-            registry._absorb_locked(replace(entry, target="mystery-asic"))
-        assert registry.cross_target_candidates(
-            gemm_dag, catalog.get("epyc-7543")
-        ) == []
+        mystery = ScheduleRegistry()
+        assert mystery.record(replace(entry, target="mystery-asic"))
+        assert mystery.lookup(
+            gemm_dag, catalog.get("epyc-7543"), cross_target=True
+        ).transfers == ()
 
 
 class TestScheduleAdaptation:
@@ -199,7 +198,7 @@ class TestCrossTargetAcceptance:
         assert warm.extras["transfer_donors"] == [donor_name]
 
         # Registry provenance records the donor target on the destination entry.
-        entry = registry.lookup(dag_factory(), dest_target)
+        entry = registry.lookup(dag_factory(), dest_target, k=0).entry
         assert entry is not None
         assert entry.donor_target == donor_name
         assert donor_name != dest_name
@@ -213,11 +212,11 @@ class TestCrossTargetAcceptance:
         registry.close()
 
         reloaded = ScheduleRegistry(tmp_path / "registry")
-        entry = reloaded.lookup(gemm(64, 64, 64), dest_target)
+        entry = reloaded.lookup(gemm(64, 64, 64), dest_target, k=0).entry
         assert entry is not None
         assert entry.donor_target == "xeon-6226r"
         # Legacy entries without the field load as cold provenance.
-        donor_entry = reloaded.lookup(gemm(64, 64, 64), donor_target)
+        donor_entry = reloaded.lookup(gemm(64, 64, 64), donor_target, k=0).entry
         assert donor_entry.donor_target == ""
 
     def test_second_device_of_family_skips_tuning_entirely_on_rehit(

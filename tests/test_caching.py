@@ -76,6 +76,30 @@ class TestMemoCache:
         with pytest.raises(ValueError):
             MemoCache("test", maxsize=0)
 
+    def test_on_evict_runs_for_lru_eviction_invalidate_and_clear(self):
+        disposed = []
+        cache = MemoCache("test", maxsize=2, on_evict=disposed.append)
+        for key in ("a", "b", "c"):
+            cache.get_or_create(key, lambda key=key: f"value-{key}")
+        assert disposed == ["value-a"]  # LRU eviction
+        cache.invalidate("b")
+        assert disposed == ["value-a", "value-b"]
+        cache.clear()
+        assert disposed == ["value-a", "value-b", "value-c"]
+
+    def test_resource_cache_is_not_bypassed_by_legacy_mode(self):
+        # legacy_bypass=False caches hold *resources* (open shard handles):
+        # bypassing them under legacy_hot_path would leak one per lookup.
+        disposed = []
+        cache = MemoCache(
+            "handles", maxsize=4, on_evict=disposed.append, legacy_bypass=False
+        )
+        with legacy_hot_path():
+            first = cache.get_or_create("k", object)
+            second = cache.get_or_create("k", object)
+        assert second is first
+        assert len(cache) == 1 and disposed == []
+
 
 class TestCachedSketches:
     def test_hit_returns_identical_list(self):

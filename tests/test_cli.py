@@ -78,12 +78,12 @@ class TestMeasurementPipelineFlags:
         assert main(base + ["--records-out", str(log)]) == 0
         capsys.readouterr()
         store = RecordStore.load(log)
-        assert len(store.measures()) == 8
-        assert len(store.results()) == 1
+        assert len(store.query(kind="measure")) == 8
+        assert len(store.query(kind="result")) == 1
 
         assert main(base + ["--resume-from", str(log),
                             "--records-out", str(log)]) == 0
-        assert len(RecordStore.load(log).measures()) == 16
+        assert len(RecordStore.load(log).query(kind="measure")) == 16
 
     def test_compare_records_dir(self, capsys, tmp_path):
         from repro.records import RecordStore
@@ -93,8 +93,8 @@ class TestMeasurementPipelineFlags:
         assert code == 0
         for name in ("harl", "ansor"):
             store = RecordStore.load(tmp_path / "cmp" / f"{name}.jsonl")
-            assert len(store.measures()) == 8
-            assert len(store.results()) == 1  # final result line lands in the log
+            assert len(store.query(kind="measure")) == 8
+            assert len(store.query(kind="result")) == 1  # final result line lands in the log
 
     def test_resume_works_for_baseline_schedulers(self, capsys, tmp_path):
         log = tmp_path / "ansor.jsonl"

@@ -30,8 +30,8 @@ class TestRoundTrip:
         store.close()
 
         loaded = RecordStore.load(store_path)
-        assert len(loaded.measures()) == len(results)
-        for record, result in zip(loaded.measures(), results):
+        assert len(loaded.query(kind="measure")) == len(results)
+        for record, result in zip(loaded.query(kind="measure"), results):
             assert record.latency == result.latency
             assert record.trial_index == result.trial_index
             assert record.workload == result.schedule.dag.name
@@ -43,7 +43,7 @@ class TestRoundTrip:
 
         dag = gemm(128, 128, 128)
         loaded = RecordStore.load(store_path)
-        for record, result in zip(loaded.measures(), results):
+        for record, result in zip(loaded.query(kind="measure"), results):
             assert record.restore_schedule(dag).signature() == result.schedule.signature()
 
     def test_results_roundtrip(self, tiny_config, gemm_dag, store_path):
@@ -53,36 +53,35 @@ class TestRoundTrip:
         store.close()
 
         loaded = RecordStore.load(store_path)
-        assert len(loaded.results()) == 1
-        assert loaded.results()[0].latency == pytest.approx(result.best_latency)
+        assert len(loaded.query(kind="result")) == 1
+        assert loaded.query(kind="result")[0].latency == pytest.approx(result.best_latency)
         # every consumed trial was streamed to the log as a measure line
-        assert len(loaded.measures(gemm_dag.name)) == result.trials_used
+        assert len(loaded.query(kind="measure", workload=gemm_dag.name)) == result.trials_used
 
     def test_reopening_appends(self, cpu, gemm_sketch, rng, store_path):
         store = RecordStore(store_path)
         _measure_some(cpu, gemm_sketch, rng, store, n=3)
         store.close()
         reopened = RecordStore(store_path)
-        assert len(reopened.measures()) == 3
+        assert len(reopened.query(kind="measure")) == 3
         _measure_some(cpu, gemm_sketch, rng, reopened, n=2)
         reopened.close()
-        assert len(RecordStore.load(store_path).measures()) == 5
+        assert len(RecordStore.load(store_path).query(kind="measure")) == 5
 
     def test_in_memory_store(self, cpu, gemm_sketch, rng):
         store = RecordStore()
         _measure_some(cpu, gemm_sketch, rng, store, n=4)
-        assert len(store.measures()) == 4
+        assert len(store.query(kind="measure")) == 4
         assert store.path is None
 
-    def test_best_measure_and_workloads(self, cpu, gemm_sketch, rng):
+    def test_best_query_and_workloads(self, cpu, gemm_sketch, rng):
         store = RecordStore()
         results = _measure_some(cpu, gemm_sketch, rng, store)
         name = results[0].schedule.dag.name
         assert store.workloads() == [name]
-        assert store.best_measure(name).latency == min(r.latency for r in results)
-        assert store.best_latency(name) == min(r.latency for r in results)
-        with pytest.raises(KeyError):
-            store.best_measure("missing")
+        best = store.query(kind="measure", workload=name, best=True)
+        assert best.latency == min(r.latency for r in results)
+        assert store.query(kind="measure", workload="missing", best=True) is None
 
     def test_load_missing_file_rejected(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -116,7 +115,7 @@ class TestCorruptionTolerance:
         # concatenate onto it; only the three mid-file lines count as skipped.
         with pytest.warns(UserWarning, match="torn"):
             store = RecordStore.load(store_path)
-        assert len(store.measures()) == 1
+        assert len(store.query(kind="measure")) == 1
         assert store.skipped_lines == 3
         assert store.truncated_tails == 1
 
@@ -141,8 +140,8 @@ class TestFingerprintRouting:
         store = RecordStore()
         results = _measure_some(cpu, gemm_sketch, rng, store)
         twin = gemm(128, 128, 128, name="renamed_twin")
-        assert len(store.measures_for(twin)) == len(results)
-        assert store.measures_for(gemm(256, 256, 256)) == []
+        assert len(store.query(kind="measure", dag=twin)) == len(results)
+        assert store.query(kind="measure", dag=gemm(256, 256, 256)) == []
 
     def test_replay_into_renamed_dag(self, cpu, gemm_sketch, rng, store_path):
         store = RecordStore(store_path)
@@ -168,9 +167,9 @@ class TestFingerprintRouting:
         store_path.write_text("\n".join(lines) + "\n")
 
         legacy = RecordStore.load(store_path)
-        assert all(m.fingerprint == "" for m in legacy.measures())
-        assert len(legacy.measures_for(gemm(128, 128, 128))) == 3  # name match
-        assert legacy.measures_for(gemm(128, 128, 128, name="renamed")) == []
+        assert all(m.fingerprint == "" for m in legacy.query(kind="measure"))
+        assert len(legacy.query(kind="measure", dag=gemm(128, 128, 128))) == 3  # name match
+        assert legacy.query(kind="measure", dag=gemm(128, 128, 128, name="renamed")) == []
 
     def test_results_carry_fingerprints(self, tiny_config, gemm_dag, store_path):
         store = RecordStore(store_path)
@@ -179,10 +178,10 @@ class TestFingerprintRouting:
         )
         store.close()
         loaded = RecordStore.load(store_path)
-        assert all(m.fingerprint for m in loaded.measures())
-        assert all(r.fingerprint for r in loaded.results())
+        assert all(m.fingerprint for m in loaded.query(kind="measure"))
+        assert all(r.fingerprint for r in loaded.query(kind="result"))
         twin = gemm(128, 128, 128, name="twin")
-        twin_results = loaded.results_for(twin)
+        twin_results = loaded.query(kind="result", dag=twin)
         assert len(twin_results) == 1
         # Fingerprint-matched results restore onto the renamed twin.
         restored = twin_results[0].restore_schedule(twin, check_workload=False)
@@ -248,3 +247,62 @@ class TestReplayAndResume:
         )
         ctx = scheduler._task(gemm_dag)
         assert ctx.best_schedules  # replayed schedules seed the episode warm start
+
+
+class TestQueryAPI:
+    """store.query() subsumes the six legacy accessors; the shims agree."""
+
+    @pytest.fixture()
+    def populated(self, cpu, gemm_sketch, rng, store_path):
+        store = RecordStore(store_path)
+        _measure_some(cpu, gemm_sketch, rng, store, n=5)
+        yield store
+        store.close()
+
+    def test_query_validates_arguments(self, populated):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            populated.query(kind="bogus")
+        with pytest.raises(ValueError, match="not both"):
+            populated.query(dag=gemm(128, 128, 128), workload="x")
+
+    def test_best_returns_minimum_or_none(self, populated):
+        records = populated.query(kind="measure")
+        best = populated.query(kind="measure", best=True)
+        assert best is min(records, key=lambda m: m.latency)
+        assert populated.query(kind="measure", workload="absent", best=True) is None
+
+    def test_deprecated_shims_agree_with_query(self, populated):
+        dag = gemm(128, 128, 128)
+        wl = populated.query(kind="measure")[0].workload
+        with pytest.deprecated_call():
+            assert populated.measures() == populated.query(kind="measure")
+        with pytest.deprecated_call():
+            assert populated.measures_for(dag) == populated.query(
+                kind="measure", dag=dag
+            )
+        with pytest.deprecated_call():
+            assert populated.results() == populated.query(kind="result")
+        with pytest.deprecated_call():
+            assert populated.results_for(dag) == populated.query(kind="result", dag=dag)
+        with pytest.deprecated_call():
+            assert populated.best_measure(wl) is populated.query(
+                kind="measure", workload=wl, best=True
+            )
+        with pytest.deprecated_call():
+            expected = min(
+                r.latency
+                for r in populated.query(kind="measure", workload=wl)
+                + populated.query(kind="result", workload=wl)
+            )
+            assert populated.best_latency(wl) == expected
+
+    def test_best_measure_still_raises_keyerror(self, populated):
+        with pytest.deprecated_call():
+            with pytest.raises(KeyError, match="no measurements"):
+                populated.best_measure("absent")
+
+    def test_iter_yields_without_a_full_copy(self, populated):
+        seen = []
+        for record in populated:
+            seen.append(record.trial_index)
+        assert seen == [m.trial_index for m in populated.query(kind="measure")]
